@@ -1,0 +1,211 @@
+// Command dcsim runs a configurable elastic-power-management simulation:
+// a server fleet under one of the five policy modes, driven by a diurnal
+// demand, optionally embedded in a full facility (power tree + cooling)
+// so PUE and thermal effects are reported too.
+//
+//	dcsim -mode coordinated -fleet 40 -days 3
+//	dcsim -mode oblivious -fleet 40 -days 3 -csv samples.csv
+//	dcsim -mode coordinated -facility -days 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cooling"
+	"repro/internal/core"
+	"repro/internal/onoff"
+	"repro/internal/power"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMode(s string) (core.PolicyMode, error) {
+	switch s {
+	case "always-on":
+		return core.ModeAlwaysOn, nil
+	case "onoff-only":
+		return core.ModeOnOffOnly, nil
+	case "dvfs-only":
+		return core.ModeDVFSOnly, nil
+	case "oblivious":
+		return core.ModeOblivious, nil
+	case "coordinated":
+		return core.ModeCoordinated, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (always-on|onoff-only|dvfs-only|oblivious|coordinated)", s)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcsim", flag.ContinueOnError)
+	modeStr := fs.String("mode", "coordinated", "policy mode")
+	fleet := fs.Int("fleet", 40, "fleet size")
+	days := fs.Int("days", 3, "simulated days")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	slaMS := fs.Int("sla", 100, "SLA response target (ms)")
+	minFrac := fs.Float64("min-load", 0.15, "night demand as fraction of fleet capacity")
+	maxFrac := fs.Float64("max-load", 0.50, "day demand as fraction of fleet capacity")
+	csvPath := fs.String("csv", "", "write per-decision samples to this CSV file")
+	facility := fs.Bool("facility", false, "embed the fleet in a full facility (power tree + cooling)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		return err
+	}
+	if *days <= 0 || *fleet <= 0 {
+		return fmt.Errorf("days and fleet must be positive")
+	}
+	if *minFrac < 0 || *maxFrac > 1 || *minFrac >= *maxFrac {
+		return fmt.Errorf("load fractions must satisfy 0 <= min < max <= 1")
+	}
+
+	srvCfg := server.DefaultConfig()
+	e := sim.NewEngine(*seed)
+	demand := func(now time.Duration) float64 {
+		h := now.Hours() - 24*float64(int(now.Hours()/24))
+		frac := *minFrac + (*maxFrac-*minFrac)*0.5*(1+math.Cos(2*math.Pi*(h-14)/24))
+		return frac * float64(*fleet) * srvCfg.Capacity
+	}
+	mgrCfg := core.ManagerConfig{
+		ServerConfig:   srvCfg,
+		FleetSize:      *fleet,
+		Queue:          workload.DefaultQueueModel(),
+		SLA:            time.Duration(*slaMS) * time.Millisecond,
+		DecisionPeriod: time.Minute,
+		Mode:           mode,
+		DVFSTarget:     0.8,
+		Trigger: onoff.DelayTrigger{
+			High:   time.Duration(*slaMS) * time.Millisecond * 6 / 10,
+			Low:    time.Duration(*slaMS) * time.Millisecond / 4,
+			StepUp: 1, StepDown: 1, Min: 1, Max: *fleet,
+		},
+		InitialOn: *fleet / 2,
+		Record:    *csvPath != "",
+	}
+
+	var dc *core.DataCenter
+	var mgr *core.Manager
+	if *facility {
+		dc, mgr, err = buildFacility(e, srvCfg, mgrCfg, demand)
+		if err != nil {
+			return err
+		}
+	} else {
+		mgr, err = core.NewManager(e, mgrCfg, demand)
+		if err != nil {
+			return err
+		}
+	}
+	mgr.Start()
+
+	var pueSum float64
+	var pueN int
+	if dc != nil {
+		e.Every(15*time.Minute, func(*sim.Engine) {
+			if pue, _, err := dc.PUEAt(18, 0.5); err == nil {
+				pueSum += pue
+				pueN++
+			}
+		})
+	}
+
+	horizon := time.Duration(*days) * 24 * time.Hour
+	if err := e.Run(horizon); err != nil {
+		return err
+	}
+	res := mgr.Result(horizon)
+
+	fmt.Printf("mode=%s fleet=%d days=%d seed=%d\n", res.Mode, *fleet, *days, *seed)
+	fmt.Printf("IT energy:        %.2f kWh\n", res.EnergyKWh)
+	fmt.Printf("mean active:      %.1f servers\n", res.MeanActive)
+	fmt.Printf("power switches:   %d on, %d off\n", res.SwitchOns, res.SwitchOffs)
+	fmt.Printf("SLA violations:   %.2f%% of decisions (worst %v)\n",
+		res.SLAViolationRate*100, res.WorstResponse.Round(time.Millisecond))
+	fmt.Printf("dropped load:     %.3f%%\n", res.DroppedFraction*100)
+	if dc != nil && pueN > 0 {
+		fmt.Printf("mean PUE:         %.2f\n", pueSum/float64(pueN))
+		fmt.Printf("thermal trips:    %d\n", dc.Trips())
+	}
+
+	if *csvPath != "" {
+		var b strings.Builder
+		b.WriteString("seconds,offered,active,pstate,power_w,response_ms,dropped\n")
+		for _, s := range res.Samples {
+			fmt.Fprintf(&b, "%d,%.1f,%d,%d,%.1f,%.2f,%.1f\n",
+				int64(s.At.Seconds()), s.Offered, s.Active, s.PState,
+				s.PowerW, float64(s.Response)/float64(time.Millisecond), s.Dropped)
+		}
+		if err := os.WriteFile(*csvPath, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *csvPath)
+	}
+	return nil
+}
+
+// buildFacility wraps the managed fleet in a power tree and cooling room
+// sized for the fleet.
+func buildFacility(e *sim.Engine, srvCfg server.Config, mgrCfg core.ManagerConfig, demand core.DemandFunc) (*core.DataCenter, *core.Manager, error) {
+	perRack := 10
+	racks := (mgrCfg.FleetSize + perRack - 1) / perRack
+	if racks < 1 {
+		racks = 1
+	}
+	// One zone per pair of racks, at least one.
+	zones := (racks + 1) / 2
+	roomCfg := cooling.RoomConfig{PhysicsTick: cooling.DefaultPhysicsTick}
+	for z := 0; z < zones; z++ {
+		roomCfg.Zones = append(roomCfg.Zones, cooling.DefaultZone(fmt.Sprintf("z%d", z)))
+		roomCfg.Sensitivity = append(roomCfg.Sensitivity, []float64{0.9})
+	}
+	roomCfg.CRACs = []cooling.CRACConfig{cooling.DefaultCRAC("c0")}
+	zoneOfRack := make([]int, racks)
+	for r := range zoneOfRack {
+		zoneOfRack[r] = r / 2
+	}
+	plant := cooling.DefaultPlantConfig()
+	plant.FanRatedW = 50 * float64(mgrCfg.FleetSize) // ~17 % of peak IT
+
+	dcCfg := core.DataCenterConfig{
+		Name:           "dcsim",
+		ServerConfig:   srvCfg,
+		ServersPerRack: perRack,
+		Topology: power.TopologyConfig{
+			UPSCount: 1, PDUsPerUPS: 1, RacksPerPDU: racks,
+			RackRatedW: float64(perRack) * srvCfg.PeakPower * 1.1, Oversubscription: 1,
+		},
+		Room:        roomCfg,
+		ZoneOfRack:  zoneOfRack,
+		Plant:       plant,
+		SampleEvery: 15 * time.Second,
+	}
+	dc, err := core.NewDataCenter(e, dcCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := dc.Attach(); err != nil {
+		return nil, nil, err
+	}
+	mgrCfg.FleetSize = dc.Fleet().Size()
+	mgrCfg.Trigger.Max = dc.Fleet().Size()
+	mgr, err := core.NewManagerForFleet(e, mgrCfg, dc.Fleet(), demand)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dc, mgr, nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseMode(t *testing.T) {
+	for _, name := range []string{"always-on", "onoff-only", "dvfs-only", "oblivious", "coordinated"} {
+		if _, err := parseMode(name); err != nil {
+			t.Errorf("parseMode(%q): %v", name, err)
+		}
+	}
+	if _, err := parseMode("nope"); err == nil {
+		t.Error("unknown mode should error")
+	}
+}
+
+func TestRunSmallSimulation(t *testing.T) {
+	if err := run([]string{"-mode", "coordinated", "-fleet", "8", "-days", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "samples.csv")
+	if err := run([]string{"-mode", "onoff-only", "-fleet", "6", "-days", "1", "-csv", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "seconds,offered,active,pstate,power_w,response_ms,dropped" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 1+24*60 {
+		t.Errorf("csv rows = %d, want %d", len(lines)-1, 24*60)
+	}
+}
+
+func TestRunFacility(t *testing.T) {
+	if err := run([]string{"-mode", "coordinated", "-fleet", "10", "-days", "1", "-facility"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "bogus"},
+		{"-days", "0"},
+		{"-fleet", "0"},
+		{"-min-load", "0.9", "-max-load", "0.5"},
+		{"-max-load", "1.5"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates every figure and quantitative claim of
+// the paper (the index in DESIGN.md and EXPERIMENTS.md). Run all of them
+// or one by id:
+//
+//	experiments            # run everything
+//	experiments -exp fig3  # one experiment
+//	experiments -list      # list ids
+//	experiments -seed 7    # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// csver is implemented by results that carry plottable series.
+type csver interface {
+	CSVs() map[string]string
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	id := fs.String("exp", "", "experiment id to run (default: all)")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	csvDir := fs.String("csv", "", "directory to write figure series CSVs into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, strings.Join(exp.IDs(), "\n"))
+		return nil
+	}
+	ids := exp.IDs()
+	if *id != "" {
+		ids = []string{*id}
+	}
+	for _, eid := range ids {
+		start := time.Now()
+		res, err := exp.Run(eid, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", eid, err)
+		}
+		fmt.Fprint(out, res.Report())
+		if *csvDir != "" {
+			if c, ok := res.(csver); ok {
+				for name, csv := range c.CSVs() {
+					p := filepath.Join(*csvDir, name+".csv")
+					if err := os.WriteFile(p, []byte(csv), 0o644); err != nil {
+						return fmt.Errorf("%s: %w", eid, err)
+					}
+					fmt.Fprintf(out, "wrote %s\n", p)
+				}
+			}
+		}
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", eid, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

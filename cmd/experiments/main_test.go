@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range []string{"fig1", "fig3", "pathology", "tier2", "capping"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "idle60", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "idle60") || !strings.Contains(out, "60%") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "completed in") {
+		t.Error("missing timing footer")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-exp", "nope"}, &b); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-exp", "fig3", "-csv", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig3_connections.csv", "fig3_logins.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 1000 {
+			t.Errorf("%s suspiciously small: %d bytes", name, len(data))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command tracegen exports the synthetic workload and weather traces as
+// CSV for plotting (e.g. to redraw the paper's Figure 3):
+//
+//	tracegen -trace messenger -out fig3   # fig3_logins.csv + fig3_connections.csv
+//	tracegen -trace surge                 # animoto-style surge to stdout
+//	tracegen -trace weather -seed 7
+//	tracegen -trace diurnal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	kind := fs.String("trace", "messenger", "trace kind: messenger|surge|weather|diurnal")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	out := fs.String("out", "", "output file prefix (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := sim.NewRNG(*seed)
+
+	write := func(suffix, csv string) error {
+		if *out == "" {
+			_, err := io.WriteString(os.Stdout, csv)
+			return err
+		}
+		name := fmt.Sprintf("%s_%s.csv", *out, suffix)
+		if err := os.WriteFile(name, []byte(csv), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", name)
+		return nil
+	}
+
+	switch *kind {
+	case "messenger":
+		m, err := trace.GenerateMessenger(trace.DefaultMessengerConfig(), rng)
+		if err != nil {
+			return err
+		}
+		if err := write("logins", m.Logins.CSV("login_rate_per_s")); err != nil {
+			return err
+		}
+		return write("connections", m.Connections.CSV("connections"))
+	case "surge":
+		s, err := trace.GenerateSurge(trace.DefaultSurgeConfig(), rng)
+		if err != nil {
+			return err
+		}
+		return write("surge", s.CSV("server_equivalents"))
+	case "weather":
+		w, err := trace.GenerateWeather(trace.DefaultWeatherConfig(), rng)
+		if err != nil {
+			return err
+		}
+		if err := write("temp", w.TempC.CSV("outside_temp_c")); err != nil {
+			return err
+		}
+		return write("rh", w.RH.CSV("relative_humidity"))
+	case "diurnal":
+		s, err := trace.GenerateDiurnal(trace.DefaultDiurnalConfig(), rng)
+		if err != nil {
+			return err
+		}
+		return write("diurnal", s.CSV("utilization"))
+	default:
+		return fmt.Errorf("unknown trace kind %q", *kind)
+	}
+}

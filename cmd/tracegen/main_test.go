@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAllKindsToFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		kind  string
+		files []string
+	}{
+		{"messenger", []string{"_logins.csv", "_connections.csv"}},
+		{"surge", []string{"_surge.csv"}},
+		{"weather", []string{"_temp.csv", "_rh.csv"}},
+		{"diurnal", []string{"_diurnal.csv"}},
+	}
+	for _, tc := range cases {
+		prefix := filepath.Join(dir, tc.kind)
+		if err := run([]string{"-trace", tc.kind, "-out", prefix, "-seed", "2"}); err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		for _, suffix := range tc.files {
+			data, err := os.ReadFile(prefix + suffix)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.kind, err)
+			}
+			lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+			if len(lines) < 10 {
+				t.Errorf("%s%s has only %d lines", tc.kind, suffix, len(lines))
+			}
+			if !strings.HasPrefix(lines[0], "seconds,") {
+				t.Errorf("%s%s header = %q", tc.kind, suffix, lines[0])
+			}
+		}
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if err := run([]string{"-trace", "nope"}); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a")
+	b := filepath.Join(dir, "b")
+	for _, prefix := range []string{a, b} {
+		if err := run([]string{"-trace", "surge", "-out", prefix, "-seed", "9"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, err := os.ReadFile(a + "_surge.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b + "_surge.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Error("same seed produced different CSVs")
+	}
+}

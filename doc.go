@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Challenges Towards
+// Elastic Power Management in Internet Data Centers" (Liu, Zhao, Liu, He;
+// ICDCS 2009 Workshops). The library lives under internal/: simulation
+// kernel, workload traces, server/power/cooling substrates, DVFS and
+// on/off policies, VM placement, telemetry, sensor networks,
+// oversubscription analytics, and the macro-resource management layer of
+// the paper's Figure 4. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the per-figure reproduction record; bench_test.go in
+// this directory regenerates every figure and claim as a benchmark.
+package repro

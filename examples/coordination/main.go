@@ -1,0 +1,76 @@
+// Coordination: reproduce the paper's §5.1 warning — an utilization-
+// driven DVFS governor composed obliviously with a delay-triggered on/off
+// policy chases its own tail (DVFS slows servers → delay rises → on/off
+// wakes more machines → DVFS slows further), spending more energy than
+// either policy alone. A single coordinated decision restores the
+// savings.
+//
+//	go run ./examples/coordination
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/onoff"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const fleet = 40
+	srv := server.DefaultConfig()
+	demand := func(now time.Duration) float64 {
+		h := math.Mod(now.Hours(), 24)
+		frac := 0.15 + 0.35*0.5*(1+math.Cos(2*math.Pi*(h-14)/24))
+		return frac * fleet * srv.Capacity
+	}
+
+	runMode := func(mode core.PolicyMode, initialOn int) core.RunResult {
+		e := sim.NewEngine(1)
+		mgr, err := core.NewManager(e, core.ManagerConfig{
+			ServerConfig:   srv,
+			FleetSize:      fleet,
+			Queue:          workload.DefaultQueueModel(),
+			SLA:            100 * time.Millisecond,
+			DecisionPeriod: time.Minute,
+			Mode:           mode,
+			DVFSTarget:     0.8,
+			Trigger: onoff.DelayTrigger{
+				High: 60 * time.Millisecond, Low: 25 * time.Millisecond,
+				StepUp: 1, StepDown: 1, Min: 1, Max: fleet,
+			},
+			InitialOn: initialOn,
+		}, demand)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mgr.Start()
+		const horizon = 3 * 24 * time.Hour
+		if err := e.Run(horizon); err != nil {
+			log.Fatal(err)
+		}
+		return mgr.Result(horizon)
+	}
+
+	fmt.Println("three days, same diurnal workload, five policy compositions:")
+	fmt.Println("mode          energy_kWh  mean_active  switches")
+	for _, mode := range []core.PolicyMode{
+		core.ModeAlwaysOn, core.ModeOnOffOnly, core.ModeDVFSOnly,
+		core.ModeOblivious, core.ModeCoordinated,
+	} {
+		initial := fleet / 4
+		if mode == core.ModeDVFSOnly {
+			initial = 25 // fixed fleet must be peak-sized
+		}
+		r := runMode(mode, initial)
+		fmt.Printf("%-12s  %10.1f  %11.1f  %8d\n",
+			mode, r.EnergyKWh, r.MeanActive, r.SwitchOns+r.SwitchOffs)
+	}
+	fmt.Println("\nthe oblivious composition keeps more machines on than either")
+	fmt.Println("policy alone (paper §5.1); the coordinated joint decision is cheapest.")
+}

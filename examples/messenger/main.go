@@ -1,0 +1,86 @@
+// Messenger: reproduce the paper's Figure-3 workload (a week of
+// connection counts and login rates with diurnal swing, weekend dips, and
+// flash crowds) and provision a connection-intensive service elastically
+// over it, in the style of Chen et al. [18].
+//
+//	go run ./examples/messenger
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/onoff"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Synthesize the calibrated week: 1 M peak connections, 1400/s peak
+	// logins, afternoon ≈ 2× midnight, weekdays above weekends.
+	m, err := trace.GenerateMessenger(trace.DefaultMessengerConfig(), sim.NewRNG(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: peak %.2g connections, %.0f logins/s, %d flash crowds\n",
+		m.Connections.Max(), m.Logins.Max(), len(m.FlashTimes))
+
+	svc := workload.DefaultConnectionService()
+	srv := server.DefaultConfig()
+
+	// Static sizing rule: handle the worst case with 20 % headroom.
+	staticN := svc.ServersNeeded(m.Connections.Max()*1.2, m.Logins.Max()*1.2)
+
+	// Elastic provisioning: forecast connection-equivalents and keep
+	// just enough servers awake, with hysteresis against flapping.
+	prov, err := onoff.NewProvisioner(onoff.ProvisionerConfig{
+		CapacityPerServer: svc.ConnsPerServer,
+		TargetUtil:        0.75,
+		Spares:            3,
+		Min:               4,
+		Max:               staticN,
+		DownscaleAfter:    6,
+		LookaheadSteps:    2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const step = 5 * time.Minute
+	idleW := srv.PeakPower * srv.IdleFraction
+	dynW := srv.PeakPower - idleW
+	fleet := staticN / 2
+	var elasticJ, staticJ float64
+	var short int
+	steps := int(m.Connections.Duration() / step)
+	for i := 0; i < steps; i++ {
+		t := time.Duration(i) * step
+		conns, logins := m.Connections.At(t), m.Logins.At(t)
+
+		staticJ += (float64(staticN)*idleW + float64(staticN)*dynW*svc.Utilization(conns, logins, staticN)) * step.Seconds()
+		elasticJ += (float64(fleet)*idleW + float64(fleet)*dynW*svc.Utilization(conns, logins, fleet)) * step.Seconds()
+		if fleet < svc.ServersNeeded(conns, logins) {
+			short++
+		}
+
+		loadEquiv := conns
+		if le := logins / svc.LoginsPerServerSec * svc.ConnsPerServer; le > loadEquiv {
+			loadEquiv = le
+		}
+		prov.Observe(loadEquiv)
+		next := prov.Desired(fleet)
+		if next > fleet {
+			elasticJ += float64(next-fleet) * srv.BootEnergy
+		}
+		fleet = next
+	}
+
+	fmt.Printf("static fleet (%d servers):  %.0f kWh/week\n", staticN, staticJ/3.6e6)
+	fmt.Printf("elastic provisioning:      %.0f kWh/week (%.0f%% saved)\n",
+		elasticJ/3.6e6, (1-elasticJ/staticJ)*100)
+	fmt.Printf("capacity shortfalls:       %.2f%% of 5-minute periods\n",
+		100*float64(short)/float64(steps))
+}

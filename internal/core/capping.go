@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/server"
+)
+
+// CapEnforcer is the §3.1 safety valve that makes oversubscription safe:
+// "How to protect the safety of the facility in the rare events that the
+// demand exceeds the capacity?" When a rack's draw exceeds its cap, the
+// enforcer throttles that rack's servers (T-states, §4.2) until the draw
+// fits; when headroom returns it relaxes the throttle. Idle power cannot
+// be throttled away, so a cap below the rack's idle floor stays violated
+// and is reported — the signal that servers must be shut down instead.
+type CapEnforcer struct {
+	racks   []*power.Node
+	servers [][]*server.Server
+	// margin keeps the post-throttle draw this fraction under the cap
+	// so noise does not immediately re-trip it.
+	margin float64
+	// minDuty floors the throttle (a fully stopped clock is a crash,
+	// not power management).
+	minDuty float64
+
+	throttleEvents int
+	relaxEvents    int
+	uncappable     int
+}
+
+// NewCapEnforcer builds an enforcer over racks and the servers attached
+// to each (servers[i] powers racks[i]).
+func NewCapEnforcer(racks []*power.Node, servers [][]*server.Server) (*CapEnforcer, error) {
+	if len(racks) == 0 || len(racks) != len(servers) {
+		return nil, fmt.Errorf("core: enforcer needs matching racks/servers, got %d/%d",
+			len(racks), len(servers))
+	}
+	return &CapEnforcer{
+		racks:   racks,
+		servers: servers,
+		margin:  0.02,
+		minDuty: 0.2,
+	}, nil
+}
+
+// ThrottleEvents reports how many times racks were throttled down.
+func (c *CapEnforcer) ThrottleEvents() int { return c.throttleEvents }
+
+// RelaxEvents reports how many times throttles were relaxed.
+func (c *CapEnforcer) RelaxEvents() int { return c.relaxEvents }
+
+// Uncappable reports enforcement attempts that could not fit under the
+// cap even at the minimum duty cycle (idle floor above the cap).
+func (c *CapEnforcer) Uncappable() int { return c.uncappable }
+
+// Enforce runs one enforcement pass at now and returns the number of
+// racks acted on. Call it on the manager's decision period.
+func (c *CapEnforcer) Enforce(now time.Duration) int {
+	acted := 0
+	for i, rack := range c.racks {
+		capW := rack.Cap()
+		if capW <= 0 {
+			continue
+		}
+		flow := rack.Evaluate()
+		switch {
+		case flow.OutW > capW:
+			if c.throttleRack(now, i, flow.OutW, capW) {
+				c.throttleEvents++
+			} else {
+				c.uncappable++
+			}
+			acted++
+		case flow.OutW < capW*(1-2*c.margin):
+			if c.relaxRack(now, i, flow.OutW, capW) {
+				c.relaxEvents++
+				acted++
+			}
+		}
+	}
+	return acted
+}
+
+// throttleRack scales the rack's dynamic power down to fit the cap.
+// Reports false when even the floor duty cannot fit (idle floor too
+// high).
+func (c *CapEnforcer) throttleRack(now time.Duration, i int, outW, capW float64) bool {
+	var idleW, dynW float64
+	for _, s := range c.servers[i] {
+		if s.State() != server.StateActive {
+			continue
+		}
+		cfg := s.Config()
+		idle := cfg.PeakPower * cfg.IdleFraction
+		p := s.Power()
+		idleW += idle
+		dynW += p - idle
+	}
+	target := capW * (1 - c.margin)
+	fit := true
+	var scale float64
+	switch {
+	case dynW <= 0:
+		scale = c.minDuty
+		fit = idleW <= target
+	default:
+		scale = (target - idleW) / dynW
+		if scale < c.minDuty {
+			scale = c.minDuty
+			fit = idleW+dynW*scale <= capW
+		}
+		if scale > 1 {
+			scale = 1
+		}
+	}
+	for _, s := range c.servers[i] {
+		if s.State() != server.StateActive {
+			continue
+		}
+		// Compose with the current duty multiplicatively so repeated
+		// passes converge.
+		_ = s.SetThrottle(now, clampDuty(currentDuty(s)*scale, c.minDuty))
+	}
+	return fit
+}
+
+// relaxRack eases throttles toward full duty while headroom lasts.
+// Reports whether any server was actually relaxed.
+func (c *CapEnforcer) relaxRack(now time.Duration, i int, outW, capW float64) bool {
+	relaxed := false
+	for _, s := range c.servers[i] {
+		if s.State() != server.StateActive {
+			continue
+		}
+		d := currentDuty(s)
+		if d >= 1 {
+			continue
+		}
+		_ = s.SetThrottle(now, clampDuty(d*1.15, c.minDuty))
+		relaxed = true
+	}
+	return relaxed
+}
+
+// currentDuty infers the server's duty cycle from its capacity ratio.
+// The server package exposes throttle only through capacity, which keeps
+// the knob single-sourced; at full frequency and no parking,
+// capacity/(nominal·freq) is the duty.
+func currentDuty(s *server.Server) float64 {
+	cfg := s.Config()
+	ps := cfg.PStates[s.PStateIndex()]
+	nominal := cfg.Capacity * ps.Freq
+	if nominal <= 0 || s.State() != server.StateActive {
+		return 1
+	}
+	d := s.AvailableCapacity() / nominal
+	if d <= 0 {
+		return 1
+	}
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+func clampDuty(d, min float64) float64 {
+	if d < min {
+		return min
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}

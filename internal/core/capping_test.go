@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// cappedRack builds one rack with n active servers attached and a fleet
+// to drive them.
+func cappedRack(t *testing.T, e *sim.Engine, n int) (*power.Node, []*server.Server) {
+	t.Helper()
+	rack, err := power.NewNode("rack", power.KindRack, 10_000, power.DefaultRackLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := bootedFleet(t, e, n, n)
+	for _, s := range f.Servers() {
+		s := s
+		rack.AddLoad(func() float64 { return s.Power() })
+	}
+	return rack, f.Servers()
+}
+
+func TestNewCapEnforcerValidation(t *testing.T) {
+	if _, err := NewCapEnforcer(nil, nil); err == nil {
+		t.Error("empty enforcer should error")
+	}
+	e := sim.NewEngine(1)
+	rack, servers := cappedRack(t, e, 2)
+	if _, err := NewCapEnforcer([]*power.Node{rack}, [][]*server.Server{servers, servers}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestEnforceThrottlesOverCapRack(t *testing.T) {
+	e := sim.NewEngine(1)
+	rack, servers := cappedRack(t, e, 10)
+	now := e.Now()
+	for _, s := range servers {
+		s.SetUtilization(now, 1) // 10 × 300 W = 3000 W
+	}
+	rack.SetCap(2500)
+	enf, err := NewCapEnforcer([]*power.Node{rack}, [][]*server.Server{servers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rack.Evaluate().OutW <= 2500 {
+		t.Fatal("precondition: rack should be over cap")
+	}
+	acted := enf.Enforce(now)
+	if acted != 1 {
+		t.Fatalf("Enforce acted on %d racks, want 1", acted)
+	}
+	out := rack.Evaluate().OutW
+	if out > 2500 {
+		t.Errorf("rack draw %v still above cap after enforcement", out)
+	}
+	if enf.ThrottleEvents() != 1 {
+		t.Errorf("throttle events = %d, want 1", enf.ThrottleEvents())
+	}
+	// Capacity took the hit: throughput is the price of safety.
+	for _, s := range servers {
+		if s.AvailableCapacity() >= s.Config().Capacity {
+			t.Error("server not throttled despite cap enforcement")
+		}
+	}
+}
+
+func TestEnforceRelaxesWhenHeadroomReturns(t *testing.T) {
+	e := sim.NewEngine(1)
+	rack, servers := cappedRack(t, e, 10)
+	now := e.Now()
+	for _, s := range servers {
+		s.SetUtilization(now, 1)
+	}
+	rack.SetCap(2500)
+	enf, err := NewCapEnforcer([]*power.Node{rack}, [][]*server.Server{servers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enf.Enforce(now)
+	throttledCap := servers[0].AvailableCapacity()
+
+	// Load drops: draw falls well under the cap; the enforcer should
+	// relax the throttle over subsequent passes.
+	for _, s := range servers {
+		s.SetUtilization(now, 0.1)
+	}
+	for i := 0; i < 20; i++ {
+		enf.Enforce(now)
+	}
+	if servers[0].AvailableCapacity() <= throttledCap {
+		t.Error("throttle never relaxed despite headroom")
+	}
+	if enf.RelaxEvents() == 0 {
+		t.Error("no relax events recorded")
+	}
+	// Fully relaxed servers reach nominal capacity again.
+	if got := servers[0].AvailableCapacity(); got < servers[0].Config().Capacity*0.99 {
+		t.Errorf("capacity %v did not return to nominal", got)
+	}
+}
+
+func TestEnforceUncappableIdleFloor(t *testing.T) {
+	e := sim.NewEngine(1)
+	rack, servers := cappedRack(t, e, 10)
+	now := e.Now()
+	// Idle floor is 10 × 180 = 1800 W; a 1000 W cap cannot be met by
+	// throttling.
+	rack.SetCap(1000)
+	enf, err := NewCapEnforcer([]*power.Node{rack}, [][]*server.Server{servers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enf.Enforce(now)
+	if enf.Uncappable() != 1 {
+		t.Errorf("uncappable = %d, want 1 (idle floor above cap)", enf.Uncappable())
+	}
+}
+
+func TestEnforceIgnoresUncappedRacks(t *testing.T) {
+	e := sim.NewEngine(1)
+	rack, servers := cappedRack(t, e, 4)
+	now := e.Now()
+	for _, s := range servers {
+		s.SetUtilization(now, 1)
+	}
+	enf, err := NewCapEnforcer([]*power.Node{rack}, [][]*server.Server{servers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acted := enf.Enforce(now); acted != 0 {
+		t.Errorf("Enforce acted on %d uncapped racks", acted)
+	}
+	for _, s := range servers {
+		if s.AvailableCapacity() != s.Config().Capacity {
+			t.Error("uncapped rack's server was throttled")
+		}
+	}
+}
+
+func TestEnforceConvergesUnderRepeatedPasses(t *testing.T) {
+	// Multiplicative composition must converge, not oscillate: after a
+	// few passes at constant load the draw stays under the cap and the
+	// duty stabilizes.
+	e := sim.NewEngine(1)
+	rack, servers := cappedRack(t, e, 10)
+	now := e.Now()
+	for _, s := range servers {
+		s.SetUtilization(now, 1)
+	}
+	rack.SetCap(2600)
+	enf, err := NewCapEnforcer([]*power.Node{rack}, [][]*server.Server{servers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i := 0; i < 10; i++ {
+		enf.Enforce(now)
+		out := rack.Evaluate().OutW
+		if i > 2 {
+			if out > 2600 {
+				t.Fatalf("pass %d: draw %v above cap", i, out)
+			}
+			if prev > 0 && (out > prev*1.1 || out < prev*0.9) {
+				t.Fatalf("pass %d: draw oscillating %v -> %v", i, prev, out)
+			}
+		}
+		prev = out
+	}
+}

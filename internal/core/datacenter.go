@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cooling"
+	"repro/internal/power"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// DataCenterConfig assembles a complete facility: a server fleet placed
+// into the power tree's racks, racks mapped onto cooling zones, a
+// heat-rejection plant, and optional telemetry collection.
+type DataCenterConfig struct {
+	// Name identifies the facility.
+	Name string
+	// ServerConfig is the homogeneous server model.
+	ServerConfig server.Config
+	// ServersPerRack places this many servers in each rack of the
+	// power topology.
+	ServersPerRack int
+	// Topology shapes the power tree.
+	Topology power.TopologyConfig
+	// Room shapes the thermal model. len(Room.Zones) zones.
+	Room cooling.RoomConfig
+	// ZoneOfRack maps each rack index to a cooling zone.
+	ZoneOfRack []int
+	// Plant is the heat-rejection plant.
+	Plant cooling.PlantConfig
+	// SampleEvery enables telemetry collection at this period (0
+	// disables; the paper's scenario samples every 15 s).
+	SampleEvery time.Duration
+}
+
+// DataCenter is the assembled cyber-physical facility of Figure 4's
+// bottom half: computing fleet, power distribution, and cooling coupled
+// through heat and protected by thermal trips, with telemetry feeding the
+// macro layer.
+type DataCenter struct {
+	cfg      DataCenterConfig
+	engine   *sim.Engine
+	fleet    *Fleet
+	topo     *power.Topology
+	room     *cooling.Room
+	store    *telemetry.Store
+	rackOf   []int // server index -> rack index
+	zoneOf   []int // server index -> zone index
+	tripped  int
+	cancels  []sim.Cancel
+	attached bool
+}
+
+// NewDataCenter builds and wires the facility.
+func NewDataCenter(e *sim.Engine, cfg DataCenterConfig) (*DataCenter, error) {
+	if cfg.ServersPerRack <= 0 {
+		return nil, fmt.Errorf("core: servers per rack %d must be positive", cfg.ServersPerRack)
+	}
+	topo, err := power.NewTopology(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	room, err := cooling.NewRoom(cfg.Room)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Plant.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.ZoneOfRack) != len(topo.Racks) {
+		return nil, fmt.Errorf("core: ZoneOfRack has %d entries for %d racks", len(cfg.ZoneOfRack), len(topo.Racks))
+	}
+	for ri, z := range cfg.ZoneOfRack {
+		if z < 0 || z >= room.Zones() {
+			return nil, fmt.Errorf("core: rack %d mapped to invalid zone %d", ri, z)
+		}
+	}
+	if cfg.SampleEvery < 0 {
+		return nil, fmt.Errorf("core: negative sample period")
+	}
+
+	nServers := len(topo.Racks) * cfg.ServersPerRack
+	fleet, err := NewFleet(e, cfg.ServerConfig, nServers)
+	if err != nil {
+		return nil, err
+	}
+	dc := &DataCenter{
+		cfg:    cfg,
+		engine: e,
+		fleet:  fleet,
+		topo:   topo,
+		room:   room,
+		rackOf: make([]int, nServers),
+		zoneOf: make([]int, nServers),
+	}
+	for i, s := range fleet.Servers() {
+		rack := i / cfg.ServersPerRack
+		dc.rackOf[i] = rack
+		dc.zoneOf[i] = cfg.ZoneOfRack[rack]
+		s := s // capture for the load closure
+		topo.Racks[rack].AddLoad(func() float64 { return s.Power() })
+	}
+	if cfg.SampleEvery > 0 {
+		dc.store, err = telemetry.NewStore(telemetry.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dc, nil
+}
+
+// Fleet exposes the server fleet.
+func (dc *DataCenter) Fleet() *Fleet { return dc.fleet }
+
+// Room exposes the thermal model.
+func (dc *DataCenter) Room() *cooling.Room { return dc.room }
+
+// Topology exposes the power tree.
+func (dc *DataCenter) Topology() *power.Topology { return dc.topo }
+
+// Store exposes the telemetry store (nil unless sampling was enabled).
+func (dc *DataCenter) Store() *telemetry.Store { return dc.store }
+
+// ZoneOfServer reports the cooling zone of server i.
+func (dc *DataCenter) ZoneOfServer(i int) int { return dc.zoneOf[i] }
+
+// RackOfServer reports the power-tree rack of server i (indices track the
+// fleet's current activation order).
+func (dc *DataCenter) RackOfServer(i int) int { return dc.rackOf[i] }
+
+// ServersInZone returns the indexes of servers in zone z.
+func (dc *DataCenter) ServersInZone(z int) []int {
+	var out []int
+	for i, zz := range dc.zoneOf {
+		if zz == z {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Attach wires the facility onto the engine: room physics and CRAC
+// control, the heat/thermal-protection coupling loop, and telemetry
+// sampling. Idempotent per instance.
+func (dc *DataCenter) Attach() (sim.Cancel, error) {
+	if dc.attached {
+		return nil, fmt.Errorf("core: data center already attached")
+	}
+	dc.attached = true
+	dc.cancels = append(dc.cancels, dc.room.Attach(dc.engine))
+
+	// Couple servers ↔ room on the physics tick: zone heat in, inlet
+	// temperatures (and protective trips, §2.2) out.
+	dc.cancels = append(dc.cancels, dc.engine.Every(dc.room.PhysicsTick(), func(e *sim.Engine) {
+		now := e.Now()
+		heat := make([]float64, dc.room.Zones())
+		for i, s := range dc.fleet.Servers() {
+			s.Sync(now)
+			heat[dc.zoneOf[i]] += s.Power()
+		}
+		for z, h := range heat {
+			if err := dc.room.SetZoneHeat(z, h); err != nil {
+				panic(fmt.Sprintf("core: zone heat: %v", err)) // zones validated at construction
+			}
+		}
+		for i, s := range dc.fleet.Servers() {
+			if s.ObserveInlet(now, dc.room.ZoneInletC(dc.zoneOf[i])) {
+				dc.tripped++
+			}
+		}
+	}))
+
+	if dc.store != nil {
+		dc.cancels = append(dc.cancels, dc.engine.Every(dc.cfg.SampleEvery, func(e *sim.Engine) {
+			dc.sample(e.Now())
+		}))
+	}
+	return func() {
+		for _, c := range dc.cancels {
+			c()
+		}
+	}, nil
+}
+
+// sample pushes one telemetry round into the store.
+func (dc *DataCenter) sample(now time.Duration) {
+	for i, s := range dc.fleet.Servers() {
+		s.Sync(now)
+		key := fmt.Sprintf("srv%04d/power", i)
+		if err := dc.store.Append(key, now, s.Power()); err != nil {
+			panic(fmt.Sprintf("core: telemetry: %v", err)) // single writer, monotone time
+		}
+		key = fmt.Sprintf("srv%04d/util", i)
+		if err := dc.store.Append(key, now, s.Utilization()); err != nil {
+			panic(fmt.Sprintf("core: telemetry: %v", err))
+		}
+	}
+	for z := 0; z < dc.room.Zones(); z++ {
+		key := fmt.Sprintf("zone%02d/inlet", z)
+		if err := dc.store.Append(key, now, dc.room.ZoneInletC(z)); err != nil {
+			panic(fmt.Sprintf("core: telemetry: %v", err))
+		}
+	}
+}
+
+// PreferCoolingSensitiveZones reorders the fleet so servers in zones the
+// CRACs regulate well activate first and shed last — the mechanism behind
+// avoiding the §5.1 migration hazard (keep load where the cooling can see
+// it). Call before the manager starts.
+func (dc *DataCenter) PreferCoolingSensitiveZones() error {
+	idx := make([]int, dc.fleet.Size())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return dc.room.ZoneSensitivity(dc.zoneOf[idx[a]]) >
+			dc.room.ZoneSensitivity(dc.zoneOf[idx[b]])
+	})
+	if err := dc.fleet.Reorder(idx); err != nil {
+		return err
+	}
+	zoneOf := make([]int, len(dc.zoneOf))
+	rackOf := make([]int, len(dc.rackOf))
+	for i, p := range idx {
+		zoneOf[i] = dc.zoneOf[p]
+		rackOf[i] = dc.rackOf[p]
+	}
+	dc.zoneOf, dc.rackOf = zoneOf, rackOf
+	return nil
+}
+
+// Trips reports protective shutdowns observed through the coupling loop.
+func (dc *DataCenter) Trips() int { return dc.tripped }
+
+// ITPowerW reports the instantaneous fleet draw.
+func (dc *DataCenter) ITPowerW() float64 { return dc.fleet.PowerW() }
+
+// Flow evaluates the power tree.
+func (dc *DataCenter) Flow() power.Flow { return dc.topo.Feed.Evaluate() }
+
+// PUEAt computes the facility PUE under the given outside conditions:
+// IT power from the fleet, distribution losses from the tree, plant power
+// for removing the room's current cooling load.
+func (dc *DataCenter) PUEAt(outsideC, outsideRH float64) (float64, cooling.PlantPower, error) {
+	it := dc.ITPowerW()
+	flow := dc.Flow()
+	plant, err := dc.cfg.Plant.Power(dc.room.CoolingLoadW(), outsideC, outsideRH)
+	if err != nil {
+		return 0, plant, err
+	}
+	pue, err := cooling.PUE(it, flow.TotalLoss(), plant.TotalW())
+	return pue, plant, err
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func distributedBase(fleet int) ManagerConfig {
+	return ManagerConfig{
+		ServerConfig:   testServerConfig(),
+		FleetSize:      fleet,
+		Queue:          workload.DefaultQueueModel(),
+		SLA:            100 * time.Millisecond,
+		DecisionPeriod: time.Minute,
+		Mode:           ModeCoordinated,
+		InitialOn:      fleet / 4,
+	}
+}
+
+func TestNewDistributedValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	demand := func(time.Duration) float64 { return 100 }
+	if _, err := NewDistributed(e, distributedBase(10), nil, demand); err == nil {
+		t.Error("no clusters should error")
+	}
+	if _, err := NewDistributed(e, distributedBase(10), []int{5, 0}, demand); err == nil {
+		t.Error("zero-size cluster should error")
+	}
+	if _, err := NewDistributed(e, distributedBase(10), []int{5, 5}, nil); err == nil {
+		t.Error("nil demand should error")
+	}
+	bad := distributedBase(10)
+	bad.SLA = 0
+	if _, err := NewDistributed(e, bad, []int{5, 5}, demand); err == nil {
+		t.Error("invalid base config should error")
+	}
+}
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	// The §3.2 claim in mechanism form: per-cluster sub-layers with only
+	// a proportional share message achieve nearly the centralized
+	// energy.
+	const fleet = 40
+	srv := testServerConfig()
+	demand := func(now time.Duration) float64 {
+		h := math.Mod(now.Hours(), 24)
+		frac := 0.15 + 0.35*0.5*(1+math.Cos(2*math.Pi*(h-14)/24))
+		return frac * fleet * srv.Capacity
+	}
+	const horizon = 2 * 24 * time.Hour
+
+	eC := sim.NewEngine(9)
+	central, err := NewManager(eC, distributedBase(fleet), demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central.Start()
+	if err := eC.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	cres := central.Result(horizon)
+
+	eD := sim.NewEngine(9)
+	dist, err := NewDistributed(eD, distributedBase(fleet), []int{10, 10, 10, 10}, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist.Start()
+	if err := eD.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	dres := dist.Result(horizon)
+
+	// Energy within 15 % of centralized (quantization of per-cluster
+	// ceil() costs a little).
+	rel := (dres.EnergyKWh - cres.EnergyKWh) / cres.EnergyKWh
+	if rel < -0.02 || rel > 0.15 {
+		t.Errorf("distributed energy %.1f kWh vs centralized %.1f kWh (%.1f%%)",
+			dres.EnergyKWh, cres.EnergyKWh, rel*100)
+	}
+	if dres.SLAViolationRate > 0.1 {
+		t.Errorf("distributed SLA violation rate %.3f", dres.SLAViolationRate)
+	}
+	if dres.DroppedFraction > 0.01 {
+		t.Errorf("distributed dropped %.4f of load", dres.DroppedFraction)
+	}
+	// One message per cluster per period.
+	wantMsgs := int64(4 * (horizon / time.Minute))
+	if dist.Messages() != wantMsgs {
+		t.Errorf("messages = %d, want %d", dist.Messages(), wantMsgs)
+	}
+	if len(dist.Clusters()) != 4 {
+		t.Errorf("clusters = %d", len(dist.Clusters()))
+	}
+}
+
+func TestDistributedUnevenClusters(t *testing.T) {
+	const fleet = 30
+	demand := func(time.Duration) float64 { return 6_000 }
+	e := sim.NewEngine(3)
+	dist, err := NewDistributed(e, distributedBase(fleet), []int{20, 10}, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist.Start()
+	if err := e.Run(6 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	res := dist.Result(6 * time.Hour)
+	// The large cluster should run roughly twice the small one's fleet.
+	big := dist.Clusters()[0].Result(6 * time.Hour).MeanActive
+	small := dist.Clusters()[1].Result(6 * time.Hour).MeanActive
+	if big < 1.5*small {
+		t.Errorf("big cluster mean active %.1f not ~2x small %.1f", big, small)
+	}
+	if res.DroppedFraction > 0.01 {
+		t.Errorf("dropped %.4f", res.DroppedFraction)
+	}
+}

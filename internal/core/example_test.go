@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ExampleJointOptimizer shows the coordinated (count, frequency) decision
+// the paper's §5.1 argument calls for: one optimizer, one energy goal.
+func ExampleJointOptimizer() {
+	cfg := server.DefaultConfig()
+	j, err := core.NewJointOptimizer(cfg, workload.DefaultQueueModel(), 100*time.Millisecond, 50)
+	if err != nil {
+		panic(err)
+	}
+	dec := j.Decide(8_000) // offered load in capacity units/s
+	fmt.Printf("servers=%d pstate=%d power=%.0fW response<=%v\n",
+		dec.Servers, dec.PState, dec.PredictedPowerW,
+		dec.PredictedResponse.Round(time.Millisecond))
+	// Output:
+	// servers=10 pstate=0 power=2760W response<=100ms
+}
+
+// ExampleGeoRoute shows §3.2 federation routing: demand flows to the most
+// efficient site that satisfies the latency bound.
+func ExampleGeoRoute() {
+	sites := []core.Site{
+		{Name: "warm-home", CapacityUnits: 1000, MarginalPUE: 1.9, WattsPerUnit: 0.3, Latency: 20 * time.Millisecond},
+		{Name: "cool-north", CapacityUnits: 600, MarginalPUE: 1.2, WattsPerUnit: 0.3, Latency: 60 * time.Millisecond},
+	}
+	allocs, totalW, unplaced, err := core.GeoRoute(900, sites, 100*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range allocs {
+		fmt.Printf("%s: %.0f units (%.0f W)\n", a.Site, a.Units, a.PowerW)
+	}
+	fmt.Printf("total %.0f W, unplaced %.0f\n", totalW, unplaced)
+	// Output:
+	// cool-north: 600 units (216 W)
+	// warm-home: 300 units (171 W)
+	// total 387 W, unplaced 0
+}
+
+// ExampleFleet shows elastic fleet control: boot to a target, dispatch
+// load, read power.
+func ExampleFleet() {
+	e := sim.NewEngine(1)
+	cfg := server.DefaultConfig()
+	fleet, err := core.NewFleet(e, cfg, 4)
+	if err != nil {
+		panic(err)
+	}
+	fleet.SetTarget(2)
+	if err := e.Run(cfg.BootDelay); err != nil {
+		panic(err)
+	}
+	fleet.Sync(e.Now())
+	fleet.Dispatch(e.Now(), cfg.Capacity) // one server's worth over two servers
+	fmt.Printf("active=%d power=%.0fW\n", fleet.ActiveCount(), fleet.PowerW())
+	// Output:
+	// active=2 power=480W
+}

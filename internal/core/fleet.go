@@ -1,0 +1,207 @@
+// Package core implements the paper's primary contribution: the
+// macro-resource management (MRM) layer of Figure 4. It assembles the
+// substrates — servers, the power-distribution tree, the cooling room and
+// plant, telemetry — into a data center; runs coordination policies that
+// jointly decide server on/off state, DVFS operating points, load
+// dispatch, power caps, and cooling-aware activation; and exposes both
+// the coordinated policies the paper calls for and the oblivious
+// compositions it warns against (§5.1), so the difference is measurable.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fleet manages an ordered set of servers as one elastic pool: power
+// servers up or down to a target count, dispatch offered load over the
+// active ones, and report aggregate capacity and power.
+type Fleet struct {
+	servers []*server.Server
+	engine  *sim.Engine
+	// switchOns counts power-on transitions (oscillation diagnostic).
+	switchOns  int
+	switchOffs int
+}
+
+// NewFleet builds a fleet of n servers from cfg, all initially off.
+// Names are suffixed with the index.
+func NewFleet(e *sim.Engine, cfg server.Config, n int) (*Fleet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: fleet size %d must be positive", n)
+	}
+	f := &Fleet{engine: e, servers: make([]*server.Server, 0, n)}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Name = fmt.Sprintf("%s-%03d", cfg.Name, i)
+		s, err := server.New(c)
+		if err != nil {
+			return nil, err
+		}
+		f.servers = append(f.servers, s)
+	}
+	return f, nil
+}
+
+// Servers exposes the underlying servers (shared slice: do not mutate).
+func (f *Fleet) Servers() []*server.Server { return f.servers }
+
+// Size reports the total fleet size.
+func (f *Fleet) Size() int { return len(f.servers) }
+
+// OnCount reports servers that are active or booting (committed to be
+// on).
+func (f *Fleet) OnCount() int {
+	n := 0
+	for _, s := range f.servers {
+		if st := s.State(); st == server.StateActive || st == server.StateBooting {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveCount reports fully-booted servers.
+func (f *Fleet) ActiveCount() int {
+	n := 0
+	for _, s := range f.servers {
+		if s.State() == server.StateActive {
+			n++
+		}
+	}
+	return n
+}
+
+// Switches reports cumulative power-on and power-off transitions.
+func (f *Fleet) Switches() (ons, offs int) { return f.switchOns, f.switchOffs }
+
+// SetTarget powers servers on or off so that the committed count matches
+// target (clamped to [0, Size]). Servers are activated in slice order and
+// deactivated from the tail, so a caller that orders servers by
+// preference (e.g. CRAC-sensitive zones first, §5.1) gets cooling-aware
+// activation for free.
+func (f *Fleet) SetTarget(target int) {
+	if target < 0 {
+		target = 0
+	}
+	if target > len(f.servers) {
+		target = len(f.servers)
+	}
+	on := f.OnCount()
+	if on < target {
+		for _, s := range f.servers {
+			if on == target {
+				break
+			}
+			if s.State() == server.StateOff {
+				s.PowerOn(f.engine)
+				f.switchOns++
+				on++
+			}
+		}
+		return
+	}
+	if on > target {
+		for i := len(f.servers) - 1; i >= 0 && on > target; i-- {
+			s := f.servers[i]
+			if s.State() == server.StateActive {
+				s.PowerOff(f.engine)
+				f.switchOffs++
+				on--
+			}
+		}
+	}
+}
+
+// Reorder permutes the fleet's activation order: perm[i] is the index of
+// the server that should occupy position i. SetTarget activates from the
+// front and deactivates from the back, so callers encode activation
+// preference (e.g. CRAC-sensitive zones first) by reordering.
+func (f *Fleet) Reorder(perm []int) error {
+	if len(perm) != len(f.servers) {
+		return fmt.Errorf("core: permutation length %d != fleet size %d", len(perm), len(f.servers))
+	}
+	seen := make([]bool, len(perm))
+	next := make([]*server.Server, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			return fmt.Errorf("core: invalid permutation entry %d at %d", p, i)
+		}
+		seen[p] = true
+		next[i] = f.servers[p]
+	}
+	f.servers = next
+	return nil
+}
+
+// Sync advances every server's energy accounting to now.
+func (f *Fleet) Sync(now time.Duration) {
+	for _, s := range f.servers {
+		s.Sync(now)
+	}
+}
+
+// SetPStateAll moves every server to the given DVFS index.
+func (f *Fleet) SetPStateAll(now time.Duration, idx int) error {
+	for _, s := range f.servers {
+		if err := s.SetPState(now, idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Capacities returns each server's currently available capacity
+// (zero for servers that are off or booting).
+func (f *Fleet) Capacities() []float64 {
+	caps := make([]float64, len(f.servers))
+	for i, s := range f.servers {
+		caps[i] = s.AvailableCapacity()
+	}
+	return caps
+}
+
+// Dispatch spreads offered load over the active servers and applies the
+// resulting utilizations. It returns the dispatch (including dropped
+// load) and the highest per-server utilization.
+func (f *Fleet) Dispatch(now time.Duration, offered float64) (workload.Dispatch, float64) {
+	d := workload.SpreadLoad(offered, f.Capacities())
+	var maxU float64
+	for i, s := range f.servers {
+		s.SetUtilization(now, d.Utilizations[i])
+		maxU = math.Max(maxU, d.Utilizations[i])
+	}
+	return d, maxU
+}
+
+// PowerW reports the instantaneous total fleet draw.
+func (f *Fleet) PowerW() float64 {
+	var total float64
+	for _, s := range f.servers {
+		total += s.Power()
+	}
+	return total
+}
+
+// EnergyJ reports the cumulative fleet energy through the last Sync.
+func (f *Fleet) EnergyJ() float64 {
+	var total float64
+	for _, s := range f.servers {
+		total += s.EnergyJ()
+	}
+	return total
+}
+
+// Trips reports the total protective thermal shutdowns across the fleet.
+func (f *Fleet) Trips() int {
+	n := 0
+	for _, s := range f.servers {
+		n += s.Trips()
+	}
+	return n
+}

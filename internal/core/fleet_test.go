@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+func testServerConfig() server.Config {
+	cfg := server.DefaultConfig()
+	cfg.BootDelay = 90 * time.Second
+	return cfg
+}
+
+func bootedFleet(t *testing.T, e *sim.Engine, n, on int) *Fleet {
+	t.Helper()
+	f, err := NewFleet(e, testServerConfig(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTarget(on)
+	if err := e.Run(e.Now() + testServerConfig().BootDelay + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync(e.Now())
+	if f.ActiveCount() != on {
+		t.Fatalf("active = %d after boot, want %d", f.ActiveCount(), on)
+	}
+	return f
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	if _, err := NewFleet(e, testServerConfig(), 0); err == nil {
+		t.Error("zero fleet should error")
+	}
+	bad := testServerConfig()
+	bad.PeakPower = 0
+	if _, err := NewFleet(e, bad, 2); err == nil {
+		t.Error("invalid server config should error")
+	}
+	f, err := NewFleet(e, testServerConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 3 {
+		t.Errorf("Size = %d", f.Size())
+	}
+	names := map[string]bool{}
+	for _, s := range f.Servers() {
+		names[s.Name()] = true
+	}
+	if len(names) != 3 {
+		t.Error("server names not unique")
+	}
+}
+
+func TestSetTargetBootAndShutdown(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := bootedFleet(t, e, 10, 4)
+	ons, offs := f.Switches()
+	if ons != 4 || offs != 0 {
+		t.Errorf("switches = %d/%d, want 4/0", ons, offs)
+	}
+	// Booting servers count toward the committed target (no double
+	// ignition).
+	f.SetTarget(6)
+	if f.OnCount() != 6 {
+		t.Fatalf("OnCount = %d, want 6", f.OnCount())
+	}
+	f.SetTarget(6) // idempotent while booting
+	ons, _ = f.Switches()
+	if ons != 6 {
+		t.Errorf("switch-ons = %d, want 6 (no re-ignition)", ons)
+	}
+	if err := e.Run(e.Now() + 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync(e.Now())
+	if f.ActiveCount() != 6 {
+		t.Fatalf("active = %d, want 6", f.ActiveCount())
+	}
+	// Scale down.
+	f.SetTarget(2)
+	if err := e.Run(e.Now() + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync(e.Now())
+	if f.ActiveCount() != 2 {
+		t.Errorf("active after shrink = %d, want 2", f.ActiveCount())
+	}
+	_, offs = f.Switches()
+	if offs != 4 {
+		t.Errorf("switch-offs = %d, want 4", offs)
+	}
+	// Clamping.
+	f.SetTarget(-5)
+	f.SetTarget(999)
+	if f.OnCount() > f.Size() {
+		t.Error("target clamping failed")
+	}
+}
+
+func TestFleetDispatchAndPower(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := bootedFleet(t, e, 4, 2)
+	now := e.Now()
+	cfg := testServerConfig()
+
+	// Idle active servers draw idle power each.
+	idle := cfg.PeakPower * cfg.IdleFraction
+	if math.Abs(f.PowerW()-2*idle) > 1e-9 {
+		t.Errorf("idle fleet power = %v, want %v", f.PowerW(), 2*idle)
+	}
+	// Dispatch half the active capacity: each at 50 %.
+	d, maxU := f.Dispatch(now, cfg.Capacity)
+	if d.Dropped != 0 {
+		t.Errorf("dropped = %v", d.Dropped)
+	}
+	if math.Abs(maxU-0.5) > 1e-9 {
+		t.Errorf("max utilization = %v, want 0.5", maxU)
+	}
+	// Overload drops.
+	d, maxU = f.Dispatch(now, cfg.Capacity*5)
+	if d.Dropped <= 0 || maxU != 1 {
+		t.Errorf("overload: dropped=%v maxU=%v", d.Dropped, maxU)
+	}
+}
+
+func TestFleetActivationOrderIsSliceOrder(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := bootedFleet(t, e, 5, 2)
+	// The first two servers in slice order must be the active ones —
+	// the property cooling-aware ordering relies on.
+	for i, s := range f.Servers() {
+		want := server.StateActive
+		if i >= 2 {
+			want = server.StateOff
+		}
+		if s.State() != want {
+			t.Errorf("server %d state = %v, want %v", i, s.State(), want)
+		}
+	}
+}
+
+func TestFleetEnergyAccumulates(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := bootedFleet(t, e, 2, 2)
+	before := f.EnergyJ()
+	if err := e.Run(e.Now() + time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync(e.Now())
+	cfg := testServerConfig()
+	wantDelta := 2 * cfg.PeakPower * cfg.IdleFraction * 3600
+	delta := f.EnergyJ() - before
+	if math.Abs(delta-wantDelta) > 1e-6*wantDelta {
+		t.Errorf("hour of idle energy = %v J, want %v J", delta, wantDelta)
+	}
+}
+
+func TestFleetSetPStateAll(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := bootedFleet(t, e, 3, 3)
+	if err := f.SetPStateAll(e.Now(), 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Servers() {
+		if s.PStateIndex() != 2 {
+			t.Errorf("server %s p-state = %d, want 2", s.Name(), s.PStateIndex())
+		}
+	}
+	if err := f.SetPStateAll(e.Now(), 99); err == nil {
+		t.Error("invalid p-state should error")
+	}
+}

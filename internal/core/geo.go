@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Site is one data center in a federation (§3.2: "Where to migrate power
+// consuming operations to best utilize cooling and power conversion
+// efficiency across data centers without sacrificing user experience?").
+type Site struct {
+	// Name identifies the site.
+	Name string
+	// CapacityUnits is the load the site can absorb.
+	CapacityUnits float64
+	// MarginalPUE is the facility watts drawn per watt of IT work — the
+	// efficiency of serving one more unit here (economized sites in
+	// cold climates approach 1.1; chiller-bound sites approach 2).
+	MarginalPUE float64
+	// WattsPerUnit is the IT power per load unit served.
+	WattsPerUnit float64
+	// Latency is the user-perceived network latency to the site.
+	Latency time.Duration
+}
+
+// Validate checks a site.
+func (s Site) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("core: site needs a name")
+	}
+	if s.CapacityUnits < 0 {
+		return fmt.Errorf("core: site %s capacity %v must be non-negative", s.Name, s.CapacityUnits)
+	}
+	if s.MarginalPUE < 1 {
+		return fmt.Errorf("core: site %s marginal PUE %v must be >= 1", s.Name, s.MarginalPUE)
+	}
+	if s.WattsPerUnit <= 0 {
+		return fmt.Errorf("core: site %s watts/unit %v must be positive", s.Name, s.WattsPerUnit)
+	}
+	if s.Latency < 0 {
+		return fmt.Errorf("core: site %s negative latency", s.Name)
+	}
+	return nil
+}
+
+// Allocation is the load assigned to one site.
+type Allocation struct {
+	Site  string
+	Units float64
+	// PowerW is the facility power consumed by this assignment.
+	PowerW float64
+}
+
+// GeoRoute splits demand across sites, filling the most efficient
+// (lowest marginal PUE) eligible site first, subject to each site's
+// capacity and a user-experience latency bound (sites beyond the bound
+// are ineligible). It returns the allocations, the total facility power,
+// and the demand that could not be placed.
+func GeoRoute(demand float64, sites []Site, latencyBound time.Duration) ([]Allocation, float64, float64, error) {
+	if demand < 0 {
+		return nil, 0, 0, fmt.Errorf("core: negative demand %v", demand)
+	}
+	if len(sites) == 0 {
+		return nil, 0, 0, fmt.Errorf("core: no sites")
+	}
+	eligible := make([]Site, 0, len(sites))
+	for _, s := range sites {
+		if err := s.Validate(); err != nil {
+			return nil, 0, 0, err
+		}
+		if latencyBound <= 0 || s.Latency <= latencyBound {
+			eligible = append(eligible, s)
+		}
+	}
+	// Cheapest marginal energy first; name breaks ties deterministically.
+	sort.SliceStable(eligible, func(i, j int) bool {
+		ci := eligible[i].MarginalPUE * eligible[i].WattsPerUnit
+		cj := eligible[j].MarginalPUE * eligible[j].WattsPerUnit
+		if ci != cj {
+			return ci < cj
+		}
+		return eligible[i].Name < eligible[j].Name
+	})
+	var allocs []Allocation
+	var totalPower float64
+	remaining := demand
+	for _, s := range eligible {
+		if remaining <= 0 {
+			break
+		}
+		units := s.CapacityUnits
+		if units > remaining {
+			units = remaining
+		}
+		if units <= 0 {
+			continue
+		}
+		p := units * s.WattsPerUnit * s.MarginalPUE
+		allocs = append(allocs, Allocation{Site: s.Name, Units: units, PowerW: p})
+		totalPower += p
+		remaining -= units
+	}
+	return allocs, totalPower, remaining, nil
+}

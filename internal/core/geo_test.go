@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func testSites() []Site {
+	return []Site{
+		{Name: "chiller-south", CapacityUnits: 1000, MarginalPUE: 1.9, WattsPerUnit: 0.3, Latency: 30 * time.Millisecond},
+		{Name: "econo-north", CapacityUnits: 800, MarginalPUE: 1.2, WattsPerUnit: 0.3, Latency: 60 * time.Millisecond},
+		{Name: "far-arctic", CapacityUnits: 5000, MarginalPUE: 1.1, WattsPerUnit: 0.3, Latency: 250 * time.Millisecond},
+	}
+}
+
+func TestGeoRoutePrefersEfficientSites(t *testing.T) {
+	allocs, totalPower, unplaced, err := GeoRoute(1000, testSites(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unplaced != 0 {
+		t.Errorf("unplaced = %v", unplaced)
+	}
+	// The arctic site is out of latency bounds; the economized northern
+	// site fills first, the chiller site takes the remainder.
+	if len(allocs) != 2 {
+		t.Fatalf("allocations = %+v", allocs)
+	}
+	if allocs[0].Site != "econo-north" || allocs[0].Units != 800 {
+		t.Errorf("first allocation = %+v, want econo-north at capacity", allocs[0])
+	}
+	if allocs[1].Site != "chiller-south" || allocs[1].Units != 200 {
+		t.Errorf("second allocation = %+v, want chiller-south 200", allocs[1])
+	}
+	want := 800*0.3*1.2 + 200*0.3*1.9
+	if math.Abs(totalPower-want) > 1e-9 {
+		t.Errorf("total power = %v, want %v", totalPower, want)
+	}
+}
+
+func TestGeoRouteLatencyBoundRelaxed(t *testing.T) {
+	// Without a latency bound the arctic site absorbs everything.
+	allocs, _, unplaced, err := GeoRoute(1000, testSites(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unplaced != 0 {
+		t.Errorf("unplaced = %v", unplaced)
+	}
+	if allocs[0].Site != "far-arctic" || allocs[0].Units != 1000 {
+		t.Errorf("allocation = %+v, want far-arctic taking all", allocs[0])
+	}
+}
+
+func TestGeoRouteOverflow(t *testing.T) {
+	_, _, unplaced, err := GeoRoute(10_000, testSites(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unplaced != 10_000-1800 {
+		t.Errorf("unplaced = %v, want %v", unplaced, 10_000-1800)
+	}
+}
+
+func TestGeoRouteValidation(t *testing.T) {
+	if _, _, _, err := GeoRoute(-1, testSites(), 0); err == nil {
+		t.Error("negative demand should error")
+	}
+	if _, _, _, err := GeoRoute(100, nil, 0); err == nil {
+		t.Error("no sites should error")
+	}
+	bad := testSites()
+	bad[0].MarginalPUE = 0.5
+	if _, _, _, err := GeoRoute(100, bad, 0); err == nil {
+		t.Error("PUE < 1 should error")
+	}
+	bad = testSites()
+	bad[0].Name = ""
+	if _, _, _, err := GeoRoute(100, bad, 0); err == nil {
+		t.Error("unnamed site should error")
+	}
+	bad = testSites()
+	bad[0].WattsPerUnit = 0
+	if _, _, _, err := GeoRoute(100, bad, 0); err == nil {
+		t.Error("zero watts/unit should error")
+	}
+	bad = testSites()
+	bad[0].CapacityUnits = -1
+	if _, _, _, err := GeoRoute(100, bad, 0); err == nil {
+		t.Error("negative capacity should error")
+	}
+	bad = testSites()
+	bad[0].Latency = -time.Second
+	if _, _, _, err := GeoRoute(100, bad, 0); err == nil {
+		t.Error("negative latency should error")
+	}
+}
+
+func TestGeoRouteZeroDemand(t *testing.T) {
+	allocs, power, unplaced, err := GeoRoute(0, testSites(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 0 || power != 0 || unplaced != 0 {
+		t.Errorf("zero demand: %v, %v, %v", allocs, power, unplaced)
+	}
+}

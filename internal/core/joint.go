@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// JointDecision is a coordinated (server count, DVFS state) choice.
+type JointDecision struct {
+	// Servers is the number of active servers to run.
+	Servers int
+	// PState is the DVFS index every active server should use.
+	PState int
+	// PredictedPowerW is the steady-state fleet power of the choice.
+	PredictedPowerW float64
+	// PredictedResponse is the modelled response time of the choice.
+	PredictedResponse time.Duration
+}
+
+// JointOptimizer is the coordinated policy the paper's §5.1 argument
+// calls for: instead of a DVFS governor and an on/off policy acting on
+// each other's side effects, one decision-maker enumerates (count,
+// frequency) pairs and picks the cheapest that meets the SLA — "both the
+// DVS and On/Off policies have the same energy saving goal", so a single
+// optimizer pursues it directly.
+type JointOptimizer struct {
+	cfg      server.Config
+	queue    workload.QueueModel
+	sla      time.Duration
+	maxCount int
+}
+
+// NewJointOptimizer builds the optimizer for a homogeneous fleet of up to
+// maxCount servers of the given configuration.
+func NewJointOptimizer(cfg server.Config, queue workload.QueueModel, sla time.Duration, maxCount int) (*JointOptimizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := queue.Validate(); err != nil {
+		return nil, err
+	}
+	if sla <= queue.ServiceTime {
+		return nil, fmt.Errorf("core: SLA %v not achievable (service time %v)", sla, queue.ServiceTime)
+	}
+	if maxCount <= 0 {
+		return nil, fmt.Errorf("core: max count %d must be positive", maxCount)
+	}
+	return &JointOptimizer{cfg: cfg, queue: queue, sla: sla, maxCount: maxCount}, nil
+}
+
+// Decide returns the minimum-power (count, p-state) pair that keeps the
+// modelled response within the SLA for the offered load. When even the
+// full fleet at nominal frequency cannot meet the SLA it returns the
+// full fleet at nominal frequency (best effort).
+func (j *JointOptimizer) Decide(offered float64) JointDecision {
+	if offered < 0 {
+		offered = 0
+	}
+	rhoMax := j.queue.UtilizationFor(j.sla)
+	if rhoMax <= 0 {
+		rhoMax = 0.01
+	}
+	idle := j.cfg.PeakPower * j.cfg.IdleFraction
+	dynFull := j.cfg.PeakPower - idle
+
+	best := JointDecision{Servers: j.maxCount, PState: 0,
+		PredictedPowerW: math.Inf(1), PredictedResponse: j.queue.MaxResponse}
+	feasible := false
+	for pi, ps := range j.cfg.PStates {
+		perServer := j.cfg.Capacity * ps.Freq
+		if perServer <= 0 {
+			continue
+		}
+		n := int(math.Ceil(offered / (perServer * rhoMax)))
+		if n < 1 {
+			n = 1
+		}
+		if n > j.maxCount {
+			continue // this frequency cannot meet the SLA within the fleet
+		}
+		rho := offered / (float64(n) * perServer)
+		resp := j.queue.Response(rho)
+		if resp > j.sla {
+			continue // ceil rounding should prevent this, but stay safe
+		}
+		power := float64(n) * (idle + dynFull*rho*ps.DynFactor)
+		if power < best.PredictedPowerW {
+			best = JointDecision{
+				Servers:           n,
+				PState:            pi,
+				PredictedPowerW:   power,
+				PredictedResponse: resp,
+			}
+			feasible = true
+		}
+	}
+	if !feasible {
+		// Best effort: everything on, full speed.
+		rho := math.Min(1, offered/(float64(j.maxCount)*j.cfg.Capacity))
+		best = JointDecision{
+			Servers:           j.maxCount,
+			PState:            0,
+			PredictedPowerW:   float64(j.maxCount) * (idle + dynFull*rho),
+			PredictedResponse: j.queue.Response(rho),
+		}
+	}
+	return best
+}

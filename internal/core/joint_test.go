@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestJointOptimizerValidation(t *testing.T) {
+	cfg := testServerConfig()
+	q := workload.DefaultQueueModel()
+	if _, err := NewJointOptimizer(cfg, q, 100*time.Millisecond, 0); err == nil {
+		t.Error("zero max count should error")
+	}
+	if _, err := NewJointOptimizer(cfg, q, q.ServiceTime, 10); err == nil {
+		t.Error("SLA at service time should error")
+	}
+	bad := cfg
+	bad.PeakPower = 0
+	if _, err := NewJointOptimizer(bad, q, 100*time.Millisecond, 10); err == nil {
+		t.Error("invalid server config should error")
+	}
+	badQ := workload.QueueModel{}
+	if _, err := NewJointOptimizer(cfg, badQ, 100*time.Millisecond, 10); err == nil {
+		t.Error("invalid queue should error")
+	}
+}
+
+func TestJointDecisionMeetsSLA(t *testing.T) {
+	cfg := testServerConfig()
+	q := workload.DefaultQueueModel()
+	const sla = 100 * time.Millisecond
+	j, err := NewJointOptimizer(cfg, q, sla, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, offered := range []float64{0, 100, 500, 2_000, 10_000, 30_000} {
+		dec := j.Decide(offered)
+		if dec.Servers < 1 || dec.Servers > 50 {
+			t.Errorf("offered %v: servers = %d out of range", offered, dec.Servers)
+		}
+		if dec.PredictedResponse > sla {
+			t.Errorf("offered %v: predicted response %v exceeds SLA", offered, dec.PredictedResponse)
+		}
+		// Verify the prediction against the model directly.
+		ps := cfg.PStates[dec.PState]
+		rho := offered / (float64(dec.Servers) * cfg.Capacity * ps.Freq)
+		if resp := q.Response(rho); resp > sla {
+			t.Errorf("offered %v: actual modelled response %v exceeds SLA", offered, resp)
+		}
+	}
+}
+
+func TestJointDecisionMonotoneInLoad(t *testing.T) {
+	cfg := testServerConfig()
+	q := workload.DefaultQueueModel()
+	j, err := NewJointOptimizer(cfg, q, 100*time.Millisecond, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevPower := 0.0
+	for _, offered := range []float64{1_000, 5_000, 10_000, 20_000, 40_000} {
+		dec := j.Decide(offered)
+		if dec.PredictedPowerW < prevPower {
+			t.Errorf("power not monotone in load at %v: %v < %v", offered, dec.PredictedPowerW, prevPower)
+		}
+		prevPower = dec.PredictedPowerW
+	}
+}
+
+func TestJointBeatsNaiveFullSpeed(t *testing.T) {
+	// At moderate load, the joint choice must use less power than
+	// running the same SLA-feasible count at full speed with spread
+	// load, or fewer servers — the whole point of coordination.
+	cfg := testServerConfig()
+	q := workload.DefaultQueueModel()
+	const sla = 100 * time.Millisecond
+	j, err := NewJointOptimizer(cfg, q, sla, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const offered = 8_000.0
+	dec := j.Decide(offered)
+
+	// Naive: full frequency, minimum SLA-feasible count.
+	rhoMax := q.UtilizationFor(sla)
+	nNaive := int(offered/(cfg.Capacity*rhoMax)) + 1
+	rhoNaive := offered / (float64(nNaive) * cfg.Capacity)
+	idle := cfg.PeakPower * cfg.IdleFraction
+	naivePower := float64(nNaive) * (idle + (cfg.PeakPower-idle)*rhoNaive)
+
+	if dec.PredictedPowerW > naivePower+1e-9 {
+		t.Errorf("joint power %v exceeds naive full-speed power %v", dec.PredictedPowerW, naivePower)
+	}
+}
+
+func TestJointInfeasibleFallsBackToBestEffort(t *testing.T) {
+	cfg := testServerConfig()
+	q := workload.DefaultQueueModel()
+	j, err := NewJointOptimizer(cfg, q, 100*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far beyond 2 servers' capacity.
+	dec := j.Decide(1e7)
+	if dec.Servers != 2 || dec.PState != 0 {
+		t.Errorf("infeasible decision = %+v, want full fleet at nominal", dec)
+	}
+	// Negative load clamps.
+	dec = j.Decide(-100)
+	if dec.Servers != 1 {
+		t.Errorf("negative load servers = %d, want 1", dec.Servers)
+	}
+}

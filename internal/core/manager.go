@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/dvfs"
+	"repro/internal/metrics"
+	"repro/internal/onoff"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PolicyMode selects how the manager composes power-management knobs.
+type PolicyMode int
+
+// Policy modes. The first three are single-knob baselines; Oblivious is
+// the §5.1 hazard (independent DVFS and on/off loops reacting to each
+// other's side effects); Coordinated is the MRM fix (one joint decision).
+const (
+	ModeAlwaysOn PolicyMode = iota + 1
+	ModeOnOffOnly
+	ModeDVFSOnly
+	ModeOblivious
+	ModeCoordinated
+)
+
+// String renders the mode.
+func (m PolicyMode) String() string {
+	switch m {
+	case ModeAlwaysOn:
+		return "always-on"
+	case ModeOnOffOnly:
+		return "onoff-only"
+	case ModeDVFSOnly:
+		return "dvfs-only"
+	case ModeOblivious:
+		return "oblivious"
+	case ModeCoordinated:
+		return "coordinated"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// DemandFunc reports the offered load (capacity units/second) at a
+// virtual time.
+type DemandFunc func(now time.Duration) float64
+
+// ManagerConfig configures a manager run.
+type ManagerConfig struct {
+	// ServerConfig is the homogeneous server model.
+	ServerConfig server.Config
+	// FleetSize is the total number of machines.
+	FleetSize int
+	// Queue maps utilization to response time.
+	Queue workload.QueueModel
+	// SLA is the response-time target.
+	SLA time.Duration
+	// DecisionPeriod is how often the manager acts.
+	DecisionPeriod time.Duration
+	// Mode selects the policy composition.
+	Mode PolicyMode
+	// DVFSTarget is the threshold governor's utilization target
+	// (ModeDVFSOnly and ModeOblivious).
+	DVFSTarget float64
+	// Trigger is the naive delay-threshold on/off policy
+	// (ModeOnOffOnly and ModeOblivious).
+	Trigger onoff.DelayTrigger
+	// InitialOn is the starting active count.
+	InitialOn int
+	// Record enables per-decision sampling for plots.
+	Record bool
+}
+
+// Validate checks the configuration.
+func (c ManagerConfig) Validate() error {
+	if err := c.ServerConfig.Validate(); err != nil {
+		return err
+	}
+	if c.FleetSize <= 0 {
+		return fmt.Errorf("core: fleet size %d must be positive", c.FleetSize)
+	}
+	if err := c.Queue.Validate(); err != nil {
+		return err
+	}
+	if c.SLA <= 0 {
+		return fmt.Errorf("core: SLA %v must be positive", c.SLA)
+	}
+	if c.DecisionPeriod <= 0 {
+		return fmt.Errorf("core: decision period %v must be positive", c.DecisionPeriod)
+	}
+	switch c.Mode {
+	case ModeAlwaysOn, ModeOnOffOnly, ModeDVFSOnly, ModeOblivious, ModeCoordinated:
+	default:
+		return fmt.Errorf("core: unknown mode %v", c.Mode)
+	}
+	if c.Mode == ModeDVFSOnly || c.Mode == ModeOblivious {
+		if c.DVFSTarget <= 0 || c.DVFSTarget > 1 {
+			return fmt.Errorf("core: DVFS target %v out of (0,1]", c.DVFSTarget)
+		}
+	}
+	if c.Mode == ModeOnOffOnly || c.Mode == ModeOblivious {
+		if err := c.Trigger.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.InitialOn < 0 || c.InitialOn > c.FleetSize {
+		return fmt.Errorf("core: initial on %d out of [0,%d]", c.InitialOn, c.FleetSize)
+	}
+	return nil
+}
+
+// Sample is one recorded decision instant.
+type Sample struct {
+	At       time.Duration
+	Offered  float64
+	Active   int
+	PState   int
+	PowerW   float64
+	Response time.Duration
+	Dropped  float64
+}
+
+// RunResult summarizes a manager run.
+type RunResult struct {
+	Mode PolicyMode
+	// EnergyKWh is the fleet energy over the run.
+	EnergyKWh float64
+	// SLAViolationRate is the fraction of decisions above the SLA.
+	SLAViolationRate float64
+	// WorstResponse is the worst observed response.
+	WorstResponse time.Duration
+	// SwitchOns / SwitchOffs count power transitions (oscillation).
+	SwitchOns, SwitchOffs int
+	// MeanActive is the average active server count.
+	MeanActive float64
+	// DroppedFraction is dropped load over offered load.
+	DroppedFraction float64
+	// Samples holds per-decision detail when recording was enabled.
+	Samples []Sample
+}
+
+// Manager is the closed-loop macro-resource manager over one fleet.
+type Manager struct {
+	cfg    ManagerConfig
+	fleet  *Fleet
+	engine *sim.Engine
+	demand DemandFunc
+
+	governor *dvfs.Threshold
+	joint    *JointOptimizer
+	sla      *metrics.SLAAccumulator
+	// demandFc forecasts offered load so the coordinated mode can
+	// pre-boot servers across the boot delay (capacity ordered now
+	// arrives only after BootDelay).
+	demandFc  *control.Holt
+	lookahead int
+
+	decisions    int64
+	activeSum    int64
+	offeredTotal float64
+	droppedTotal float64
+	samples      []Sample
+	lastResp     time.Duration
+	curPState    int
+}
+
+// NewManager builds the manager and its fleet on the engine.
+func NewManager(e *sim.Engine, cfg ManagerConfig, demand DemandFunc) (*Manager, error) {
+	fleet, err := NewFleet(e, cfg.ServerConfig, cfg.FleetSize)
+	if err != nil {
+		return nil, err
+	}
+	return NewManagerForFleet(e, cfg, fleet, demand)
+}
+
+// NewManagerForFleet builds the manager over an existing fleet (e.g. one
+// assembled inside a DataCenter, so decisions feed the power tree and the
+// cooling room). cfg.FleetSize must match the fleet.
+func NewManagerForFleet(e *sim.Engine, cfg ManagerConfig, fleet *Fleet, demand DemandFunc) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if demand == nil {
+		return nil, fmt.Errorf("core: nil demand function")
+	}
+	if fleet == nil || fleet.Size() != cfg.FleetSize {
+		return nil, fmt.Errorf("core: fleet size mismatch with config %d", cfg.FleetSize)
+	}
+	m := &Manager{cfg: cfg, fleet: fleet, engine: e, demand: demand}
+	var err error
+	m.sla, err = metrics.NewSLAAccumulator(cfg.SLA)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Mode == ModeDVFSOnly || cfg.Mode == ModeOblivious {
+		m.governor, err = dvfs.NewThreshold(cfg.ServerConfig.PStates, cfg.DVFSTarget)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Mode == ModeCoordinated {
+		m.joint, err = NewJointOptimizer(cfg.ServerConfig, cfg.Queue, cfg.SLA, cfg.FleetSize)
+		if err != nil {
+			return nil, err
+		}
+		m.demandFc, err = control.NewHolt(0.6, 0.3)
+		if err != nil {
+			return nil, err
+		}
+		m.lookahead = int(math.Ceil(float64(cfg.ServerConfig.BootDelay)/float64(cfg.DecisionPeriod))) + 1
+	}
+	m.lastResp = cfg.Queue.ServiceTime
+	return m, nil
+}
+
+// Fleet exposes the managed fleet.
+func (m *Manager) Fleet() *Fleet { return m.fleet }
+
+// Start boots the initial servers and schedules the decision loop.
+func (m *Manager) Start() sim.Cancel {
+	m.fleet.SetTarget(m.cfg.InitialOn)
+	return m.engine.Every(m.cfg.DecisionPeriod, func(e *sim.Engine) { m.tick(e.Now()) })
+}
+
+// tick runs one observe→decide→actuate cycle.
+func (m *Manager) tick(now time.Duration) {
+	offered := m.demand(now)
+	if offered < 0 {
+		offered = 0
+	}
+
+	// Observe: dispatch current load over current capacity and measure.
+	d, maxU := m.fleet.Dispatch(now, offered)
+	resp := m.cfg.Queue.Response(maxU)
+	if d.Dropped > 0 {
+		resp = m.cfg.Queue.MaxResponse
+	}
+	m.lastResp = resp
+	m.sla.Observe(resp)
+	m.decisions++
+	m.activeSum += int64(m.fleet.ActiveCount())
+	m.offeredTotal += offered
+	m.droppedTotal += d.Dropped
+
+	// Decide + actuate.
+	switch m.cfg.Mode {
+	case ModeAlwaysOn:
+		m.fleet.SetTarget(m.cfg.FleetSize)
+	case ModeOnOffOnly:
+		next := m.cfg.Trigger.Desired(m.fleet.OnCount(), resp)
+		m.fleet.SetTarget(next)
+	case ModeDVFSOnly:
+		m.applyGovernor(now, offered)
+	case ModeOblivious:
+		// Two independent controllers, each blind to the other — the
+		// composition hazard of §5.1.
+		next := m.cfg.Trigger.Desired(m.fleet.OnCount(), resp)
+		m.fleet.SetTarget(next)
+		m.applyGovernor(now, offered)
+	case ModeCoordinated:
+		// Decide on the worse of current and boot-delay-ahead demand so
+		// rising edges find capacity already booted.
+		m.demandFc.Observe(offered)
+		planFor := math.Max(offered, m.demandFc.Forecast(m.lookahead))
+		dec := m.joint.Decide(planFor)
+		m.fleet.SetTarget(dec.Servers)
+		m.setPState(now, dec.PState)
+	}
+
+	if m.cfg.Record {
+		m.fleet.Sync(now)
+		m.samples = append(m.samples, Sample{
+			At:       now,
+			Offered:  offered,
+			Active:   m.fleet.ActiveCount(),
+			PState:   m.curPState,
+			PowerW:   m.fleet.PowerW(),
+			Response: resp,
+			Dropped:  d.Dropped,
+		})
+	}
+}
+
+// applyGovernor runs the threshold DVFS governor on the per-server share
+// of the offered load.
+func (m *Manager) applyGovernor(now time.Duration, offered float64) {
+	active := m.fleet.ActiveCount()
+	if active == 0 {
+		return
+	}
+	perServer := offered / float64(active)
+	idx := m.governor.Decide(perServer, m.cfg.ServerConfig.Capacity)
+	m.setPState(now, idx)
+}
+
+func (m *Manager) setPState(now time.Duration, idx int) {
+	if idx == m.curPState {
+		return
+	}
+	// Fleet-wide homogeneous setting keeps the model simple; per-zone
+	// differentiation belongs to the placement layer.
+	if err := m.fleet.SetPStateAll(now, idx); err != nil {
+		panic(fmt.Sprintf("core: p-state actuation: %v", err)) // indexes are validated at construction
+	}
+	m.curPState = idx
+}
+
+// Result finalizes accounting at now and summarizes the run.
+func (m *Manager) Result(now time.Duration) RunResult {
+	m.fleet.Sync(now)
+	ons, offs := m.fleet.Switches()
+	res := RunResult{
+		Mode:             m.cfg.Mode,
+		EnergyKWh:        m.fleet.EnergyJ() / 3.6e6,
+		SLAViolationRate: m.sla.ViolationRate(),
+		WorstResponse:    m.sla.Worst(),
+		SwitchOns:        ons,
+		SwitchOffs:       offs,
+		Samples:          m.samples,
+	}
+	if m.decisions > 0 {
+		res.MeanActive = float64(m.activeSum) / float64(m.decisions)
+	}
+	if m.offeredTotal > 0 {
+		res.DroppedFraction = m.droppedTotal / m.offeredTotal
+	}
+	return res
+}

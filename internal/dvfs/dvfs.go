@@ -1,0 +1,215 @@
+// Package dvfs implements the dynamic voltage and frequency scaling
+// policies of §4.2: a utilization-threshold governor, a control-based
+// response-time policy with request batching (after Elnozahy et al. [21]),
+// and an interval-based per-task governor in the spirit of Vertigo
+// (Flautner & Mudge [22]). Policies are pure deciders over a P-state
+// ladder; actuation belongs to the server model and coordination to the
+// macro layer.
+package dvfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/server"
+)
+
+// validLadder checks a P-state ladder (fastest first, as in
+// server.Config).
+func validLadder(ladder []server.PState) error {
+	if len(ladder) == 0 {
+		return fmt.Errorf("dvfs: empty p-state ladder")
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i].Freq >= ladder[i-1].Freq {
+			return fmt.Errorf("dvfs: ladder not sorted fastest-first at %d", i)
+		}
+	}
+	return nil
+}
+
+// Threshold is the classic ondemand-style governor: choose the slowest
+// P-state that keeps delivered-capacity utilization at or below the
+// target. It is deliberately oblivious to response time and to the on/off
+// policy — exactly the composition hazard §5.1 describes.
+type Threshold struct {
+	ladder []server.PState
+	target float64
+}
+
+// NewThreshold builds a governor with the given ladder (fastest first)
+// and utilization target in (0,1].
+func NewThreshold(ladder []server.PState, target float64) (*Threshold, error) {
+	if err := validLadder(ladder); err != nil {
+		return nil, err
+	}
+	if target <= 0 || target > 1 {
+		return nil, fmt.Errorf("dvfs: target utilization %v out of (0,1]", target)
+	}
+	cp := make([]server.PState, len(ladder))
+	copy(cp, ladder)
+	return &Threshold{ladder: cp, target: target}, nil
+}
+
+// Decide returns the P-state index for an offered load (capacity units/s)
+// on a server with the given nominal capacity: the slowest state whose
+// delivered capacity keeps utilization ≤ target; the fastest state when
+// nothing suffices.
+func (t *Threshold) Decide(offered, nominalCapacity float64) int {
+	if nominalCapacity <= 0 || offered < 0 {
+		return 0
+	}
+	best := 0
+	for i, ps := range t.ladder {
+		if offered <= nominalCapacity*ps.Freq*t.target {
+			best = i // ladder is fastest-first: later = slower = better
+		}
+	}
+	// If even the fastest state cannot hold the target, run fastest.
+	if offered > nominalCapacity*t.ladder[0].Freq*t.target {
+		return 0
+	}
+	return best
+}
+
+// ResponseFeedback is the control-based DVFS policy of [21]: a PI
+// controller holds measured response time at a setpoint by moving a
+// continuous frequency, which snaps to the nearest P-state. Request
+// batching is modelled as tolerated slack: the setpoint is the SLA target
+// scaled by BatchSlack (batching trades response margin for power).
+type ResponseFeedback struct {
+	ladder []server.PState
+	pid    *control.PID
+	target time.Duration
+	freq   float64
+}
+
+// NewResponseFeedback builds the policy. batchSlack ≥ 1 inflates the
+// response setpoint (1 = none).
+func NewResponseFeedback(ladder []server.PState, slaTarget time.Duration, batchSlack float64) (*ResponseFeedback, error) {
+	if err := validLadder(ladder); err != nil {
+		return nil, err
+	}
+	if slaTarget <= 0 {
+		return nil, fmt.Errorf("dvfs: SLA target %v must be positive", slaTarget)
+	}
+	if batchSlack < 1 {
+		return nil, fmt.Errorf("dvfs: batch slack %v must be >= 1", batchSlack)
+	}
+	minFreq := ladder[len(ladder)-1].Freq
+	// Output is the frequency in [minFreq, 1]. Gains are scaled to the
+	// setpoint so the controller works across SLA magnitudes.
+	pid, err := control.NewPID(0.5, 0.2, 0, minFreq, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &ResponseFeedback{
+		ladder: append([]server.PState(nil), ladder...),
+		pid:    pid,
+		target: time.Duration(float64(slaTarget) * batchSlack),
+		freq:   1,
+	}, nil
+}
+
+// Target reports the effective response-time setpoint.
+func (r *ResponseFeedback) Target() time.Duration { return r.target }
+
+// Decide folds in a response-time measurement and returns the P-state
+// index. Error is normalized (measured/target − 1) so a response at twice
+// the setpoint produces error −1 (need more speed).
+func (r *ResponseFeedback) Decide(measured time.Duration, dt time.Duration) int {
+	errNorm := float64(r.target-measured) / float64(r.target)
+	// Positive error (fast responses) lowers frequency; negative raises.
+	r.freq = r.pid.Update(-errNorm, dt)
+	return nearest(r.ladder, r.freq)
+}
+
+// nearest maps a continuous frequency onto the closest ladder index.
+func nearest(ladder []server.PState, f float64) int {
+	best := 0
+	bestDiff := absF(ladder[0].Freq - f)
+	for i, ps := range ladder[1:] {
+		if d := absF(ps.Freq - f); d < bestDiff {
+			best, bestDiff = i+1, d
+		}
+	}
+	return best
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Interval is a Weiser/Vertigo-style interval governor: it tracks recent
+// utilization with an EWMA per task class and picks the slowest state
+// that would have kept the observed interval below the target. Each task
+// class gets its own estimator ("the DVFS policy on per-task basis",
+// [22]).
+type Interval struct {
+	ladder []server.PState
+	target float64
+	alpha  float64
+	tasks  map[string]*control.EWMA
+}
+
+// NewInterval builds a per-task interval governor.
+func NewInterval(ladder []server.PState, target, alpha float64) (*Interval, error) {
+	if err := validLadder(ladder); err != nil {
+		return nil, err
+	}
+	if target <= 0 || target > 1 {
+		return nil, fmt.Errorf("dvfs: target %v out of (0,1]", target)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("dvfs: alpha %v out of (0,1]", alpha)
+	}
+	return &Interval{
+		ladder: append([]server.PState(nil), ladder...),
+		target: target,
+		alpha:  alpha,
+		tasks:  make(map[string]*control.EWMA),
+	}, nil
+}
+
+// Observe folds one interval's utilization (at nominal frequency) for a
+// task class.
+func (iv *Interval) Observe(task string, utilization float64) error {
+	est, ok := iv.tasks[task]
+	if !ok {
+		var err error
+		est, err = control.NewEWMA(iv.alpha)
+		if err != nil {
+			return err
+		}
+		iv.tasks[task] = est
+	}
+	est.Observe(utilization)
+	return nil
+}
+
+// Decide returns the P-state index for a task class based on its smoothed
+// utilization; unknown tasks run fastest (safe default).
+func (iv *Interval) Decide(task string) int {
+	est, ok := iv.tasks[task]
+	if !ok {
+		return 0
+	}
+	u := est.Level()
+	best := 0
+	for i, ps := range iv.ladder {
+		if u <= ps.Freq*iv.target {
+			best = i
+		}
+	}
+	if u > iv.ladder[0].Freq*iv.target {
+		return 0
+	}
+	return best
+}
+
+// Tasks reports the number of tracked task classes.
+func (iv *Interval) Tasks() int { return len(iv.tasks) }

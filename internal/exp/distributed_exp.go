@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// distributed — hierarchical MRM sub-layers (§3.2)
+// ---------------------------------------------------------------------------
+
+// DistributedRow is one organization's outcome.
+type DistributedRow struct {
+	Organization string
+	Clusters     int
+	EnergyKWh    float64
+	ViolRate     float64
+	Messages     int64
+}
+
+// DistributedResult compares a centralized manager against 2- and 4-way
+// distributed sub-layers on the same workload — the paper's "how to
+// organize this layer to perform desired coordination with efficient
+// communication among submodules".
+type DistributedResult struct {
+	Rows []DistributedRow
+}
+
+// ID implements Result.
+func (DistributedResult) ID() string { return "distributed" }
+
+// Report implements Result.
+func (r DistributedResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("distributed", "hierarchical macro-resource management (§3.2)"))
+	b.WriteString("organization  clusters  energy_kWh  sla_viol  messages\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s  %8d  %10.2f  %8.3f  %8d\n",
+			row.Organization, row.Clusters, row.EnergyKWh, row.ViolRate, row.Messages)
+	}
+	b.WriteString("sub-layers with one share message per cluster per minute match centralized energy\n")
+	return b.String()
+}
+
+// RunDistributed runs centralized and distributed organizations over two
+// diurnal days.
+func RunDistributed(seed int64) (Result, error) {
+	const fleet = 40
+	srv := server.DefaultConfig()
+	demand := func(now time.Duration) float64 {
+		h := math.Mod(now.Hours(), 24)
+		frac := 0.15 + 0.35*0.5*(1+math.Cos(2*math.Pi*(h-14)/24))
+		return frac * fleet * srv.Capacity
+	}
+	base := core.ManagerConfig{
+		ServerConfig:   srv,
+		FleetSize:      fleet,
+		Queue:          workload.DefaultQueueModel(),
+		SLA:            100 * time.Millisecond,
+		DecisionPeriod: time.Minute,
+		Mode:           core.ModeCoordinated,
+		InitialOn:      fleet / 4,
+	}
+	const horizon = 2 * 24 * time.Hour
+
+	var res DistributedResult
+
+	// Centralized.
+	e := sim.NewEngine(seed)
+	central, err := core.NewManager(e, base, demand)
+	if err != nil {
+		return nil, err
+	}
+	central.Start()
+	if err := e.Run(horizon); err != nil {
+		return nil, err
+	}
+	cres := central.Result(horizon)
+	res.Rows = append(res.Rows, DistributedRow{
+		Organization: "centralized", Clusters: 1,
+		EnergyKWh: cres.EnergyKWh, ViolRate: cres.SLAViolationRate,
+	})
+
+	for _, split := range [][]int{{20, 20}, {10, 10, 10, 10}} {
+		e := sim.NewEngine(seed)
+		dist, err := core.NewDistributed(e, base, split, demand)
+		if err != nil {
+			return nil, err
+		}
+		dist.Start()
+		if err := e.Run(horizon); err != nil {
+			return nil, err
+		}
+		dres := dist.Result(horizon)
+		res.Rows = append(res.Rows, DistributedRow{
+			Organization: fmt.Sprintf("%d-way", len(split)),
+			Clusters:     len(split),
+			EnergyKWh:    dres.EnergyKWh,
+			ViolRate:     dres.SLAViolationRate,
+			Messages:     dist.Messages(),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,424 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/onoff"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// animoto — elastic scale-out through a demand surge (§3, after [5])
+// ---------------------------------------------------------------------------
+
+// AnimotoResult compares elastic provisioning against static sizing
+// through the quoted 50→3500-server surge.
+type AnimotoResult struct {
+	PeakDemand     float64
+	PeakFleet      int
+	ElasticKWh     float64
+	StaticPeakKWh  float64
+	StaticBaseKWh  float64
+	ElasticSaving  float64 // vs static peak provisioning
+	ElasticDropped float64 // unmet demand fraction under elastic
+	StaticBaseDrop float64 // unmet demand fraction when sized for baseline
+}
+
+// ID implements Result.
+func (AnimotoResult) ID() string { return "animoto" }
+
+// Report implements Result.
+func (r AnimotoResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("animoto", "50 -> 3500 server surge in three days (§3, after [5])"))
+	fmt.Fprintf(&b, "peak demand: %.0f server-equivalents; elastic fleet peaked at %d servers\n",
+		r.PeakDemand, r.PeakFleet)
+	fmt.Fprintf(&b, "energy over 10 days: elastic %.0f kWh, static-at-peak %.0f kWh (%.0f%% saved), static-at-baseline %.0f kWh\n",
+		r.ElasticKWh, r.StaticPeakKWh, r.ElasticSaving*100, r.StaticBaseKWh)
+	fmt.Fprintf(&b, "unmet demand: elastic %.2f%%, static-at-baseline %.0f%% (the non-elastic failure mode)\n",
+		r.ElasticDropped*100, r.StaticBaseDrop*100)
+	return b.String()
+}
+
+// RunAnimoto drives the surge trace through the forecast provisioner.
+func RunAnimoto(seed int64) (Result, error) {
+	surge, err := trace.GenerateSurge(trace.DefaultSurgeConfig(), sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	srv := server.DefaultConfig()
+	const decision = 10 * time.Minute
+	maxFleet := 4000
+
+	forecaster, err := control.NewHolt(0.6, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	prov, err := onoff.NewProvisioner(onoff.ProvisionerConfig{
+		CapacityPerServer: 1, // demand is in server-equivalents
+		TargetUtil:        0.9,
+		Spares:            10,
+		Min:               20,
+		Max:               maxFleet,
+		DownscaleAfter:    6, // an hour of low demand before shrinking
+		LookaheadSteps:    2,
+		Forecaster:        forecaster,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	idleW := srv.PeakPower * srv.IdleFraction
+	dynW := srv.PeakPower - idleW
+	var elasticJ float64
+	var unmet, offeredTotal float64
+	fleetOn := 50
+	peakFleet := fleetOn
+	bootsPending := 0 // servers whose boot energy we charge
+	steps := int(surge.Duration() / decision)
+	for i := 0; i < steps; i++ {
+		t := time.Duration(i) * decision
+		demand := surge.At(t)
+		offeredTotal += demand
+		served := demand
+		if served > float64(fleetOn)*0.98 { // ~full fleet saturation
+			served = float64(fleetOn) * 0.98
+			unmet += demand - served
+		}
+		// Energy this step: on-servers at idle + dynamic ∝ served work.
+		util := 0.0
+		if fleetOn > 0 {
+			util = served / float64(fleetOn)
+		}
+		powerW := float64(fleetOn)*idleW + float64(fleetOn)*dynW*util
+		elasticJ += powerW * decision.Seconds()
+		elasticJ += float64(bootsPending) * srv.BootEnergy
+		bootsPending = 0
+
+		prov.Observe(demand)
+		next := prov.Desired(fleetOn)
+		if next > fleetOn {
+			bootsPending = next - fleetOn
+		}
+		fleetOn = next
+		if fleetOn > peakFleet {
+			peakFleet = fleetOn
+		}
+	}
+
+	// Static baselines: fixed fleets at peak sizing and baseline sizing.
+	staticEnergy := func(n int) (joules, dropped float64) {
+		for i := 0; i < steps; i++ {
+			t := time.Duration(i) * decision
+			demand := surge.At(t)
+			served := demand
+			if served > float64(n)*0.98 {
+				served = float64(n) * 0.98
+				dropped += demand - served
+			}
+			util := served / float64(n)
+			joules += (float64(n)*idleW + float64(n)*dynW*util) * decision.Seconds()
+		}
+		return joules, dropped
+	}
+	peakJ, _ := staticEnergy(int(surge.Max()/0.9) + 1)
+	baseJ, baseDrop := staticEnergy(55)
+
+	res := AnimotoResult{
+		PeakDemand:     surge.Max(),
+		PeakFleet:      peakFleet,
+		ElasticKWh:     elasticJ / 3.6e6,
+		StaticPeakKWh:  peakJ / 3.6e6,
+		StaticBaseKWh:  baseJ / 3.6e6,
+		ElasticDropped: unmet / offeredTotal,
+		StaticBaseDrop: baseDrop / offeredTotal,
+	}
+	if peakJ > 0 {
+		res.ElasticSaving = 1 - elasticJ/peakJ
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// consolidate — energy-aware provisioning for connection services
+// (§3.1/§4.3, after Chen et al. [18])
+// ---------------------------------------------------------------------------
+
+// ConsolidateResult compares static peak sizing against forecast-driven
+// provisioning on a Messenger-like week.
+type ConsolidateResult struct {
+	StaticServers int
+	StaticKWh     float64
+	ElasticKWh    float64
+	Saving        float64
+	MeanFleet     float64
+	OverloadFrac  float64 // decision periods where capacity < demand
+}
+
+// ID implements Result.
+func (ConsolidateResult) ID() string { return "consolidate" }
+
+// Report implements Result.
+func (r ConsolidateResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("consolidate", "energy-aware server provisioning (§3.1/§4.3, after [18])"))
+	fmt.Fprintf(&b, "static fleet: %d servers, %.0f kWh/week\n", r.StaticServers, r.StaticKWh)
+	fmt.Fprintf(&b, "elastic fleet: mean %.1f servers, %.0f kWh/week (%.0f%% saved)\n",
+		r.MeanFleet, r.ElasticKWh, r.Saving*100)
+	fmt.Fprintf(&b, "decision periods with insufficient capacity: %.2f%%\n", r.OverloadFrac*100)
+	return b.String()
+}
+
+// RunConsolidate drives the Figure-3 workload through the connection
+// service model.
+func RunConsolidate(seed int64) (Result, error) {
+	m, err := trace.GenerateMessenger(trace.DefaultMessengerConfig(), sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	svc := workload.DefaultConnectionService()
+	srv := server.DefaultConfig()
+	idleW := srv.PeakPower * srv.IdleFraction
+	dynW := srv.PeakPower - idleW
+	const decision = 5 * time.Minute
+	steps := int(m.Connections.Duration() / decision)
+
+	// Static sizing: peak connections and peak logins with 20 % headroom.
+	staticN := svc.ServersNeeded(m.Connections.Max()*1.2, m.Logins.Max()*1.2)
+
+	prov, err := onoff.NewProvisioner(onoff.ProvisionerConfig{
+		CapacityPerServer: svc.ConnsPerServer,
+		TargetUtil:        0.75,
+		Spares:            3,
+		Min:               4,
+		Max:               staticN,
+		DownscaleAfter:    6,
+		LookaheadSteps:    2,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var staticJ, elasticJ float64
+	var overload int
+	fleetOn := staticN / 2
+	var fleetSum float64
+	for i := 0; i < steps; i++ {
+		t := time.Duration(i) * decision
+		conns := m.Connections.At(t)
+		logins := m.Logins.At(t)
+
+		// Static: all servers on, load spread.
+		uStatic := svc.Utilization(conns, logins, staticN)
+		staticJ += (float64(staticN)*idleW + float64(staticN)*dynW*uStatic) * decision.Seconds()
+
+		// Elastic: current fleet carries the load (or overloads).
+		need := svc.ServersNeeded(conns, logins)
+		if fleetOn < need {
+			overload++
+		}
+		uElastic := svc.Utilization(conns, logins, fleetOn)
+		elasticJ += (float64(fleetOn)*idleW + float64(fleetOn)*dynW*uElastic) * decision.Seconds()
+		fleetSum += float64(fleetOn)
+
+		// Provision on combined constraint: convert login pressure into
+		// connection-equivalents so one forecast drives both.
+		loginEquiv := logins / svc.LoginsPerServerSec * svc.ConnsPerServer
+		loadEquiv := conns
+		if loginEquiv > loadEquiv {
+			loadEquiv = loginEquiv
+		}
+		prov.Observe(loadEquiv)
+		next := prov.Desired(fleetOn)
+		if next > fleetOn {
+			elasticJ += float64(next-fleetOn) * srv.BootEnergy
+		}
+		fleetOn = next
+	}
+
+	res := ConsolidateResult{
+		StaticServers: staticN,
+		StaticKWh:     staticJ / 3.6e6,
+		ElasticKWh:    elasticJ / 3.6e6,
+		MeanFleet:     fleetSum / float64(steps),
+		OverloadFrac:  float64(overload) / float64(steps),
+	}
+	if staticJ > 0 {
+		res.Saving = 1 - elasticJ/staticJ
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// interfere — VM interference and correlation-aware co-location
+// (§4.4, §5.2)
+// ---------------------------------------------------------------------------
+
+// InterfereResult quantifies both placement phenomena.
+type InterfereResult struct {
+	// Disk contention (§4.4).
+	NaiveIOPS, AwareIOPS float64
+	ThroughputLoss       float64
+	// Power-peak stacking (§5.2).
+	NaiveWorstPeak float64
+	SmartWorstPeak float64
+	NaiveCapFrac   float64
+	SmartCapFrac   float64
+}
+
+// ID implements Result.
+func (InterfereResult) ID() string { return "interfere" }
+
+// Report implements Result.
+func (r InterfereResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("interfere", "VM interference and anti-correlated co-location (§4.4, §5.2)"))
+	fmt.Fprintf(&b, "disk: naive packing effective IOPS %.0f vs interference-aware %.0f (%.0f%% throughput lost)\n",
+		r.NaiveIOPS, r.AwareIOPS, r.ThroughputLoss*100)
+	fmt.Fprintf(&b, "power: worst host CPU peak naive %.1f vs correlation-aware %.1f cores\n",
+		r.NaiveWorstPeak, r.SmartWorstPeak)
+	fmt.Fprintf(&b, "time above 80%%-of-capacity power cap: naive %.1f%% vs correlation-aware %.1f%%\n",
+		r.NaiveCapFrac*100, r.SmartCapFrac*100)
+	return b.String()
+}
+
+// RunInterfere runs both placements.
+func RunInterfere(seed int64) (Result, error) {
+	rng := sim.NewRNG(seed)
+
+	// --- Disk contention: 8 disk-heavy VMs over 8 hosts. ---
+	mkHosts := func() []*vm.Host {
+		var hs []*vm.Host
+		for i := 0; i < 8; i++ {
+			h, err := vm.NewHost(fmt.Sprintf("h%d", i),
+				vm.Resources{CPU: 16, MemGB: 64, DiskIOPS: 1000})
+			if err != nil {
+				panic(err) // static valid config
+			}
+			hs = append(hs, h)
+		}
+		return hs
+	}
+	mkIOVMs := func() []*vm.VM {
+		var vms []*vm.VM
+		for i := 0; i < 8; i++ {
+			vms = append(vms, &vm.VM{
+				Name: fmt.Sprintf("io%d", i),
+				Size: vm.Resources{CPU: 2, MemGB: 8, DiskIOPS: 400},
+			})
+		}
+		return vms
+	}
+	naiveHosts := mkHosts()
+	if _, err := vm.Place(mkIOVMs(), naiveHosts, vm.BestFit); err != nil {
+		return nil, err
+	}
+	awareHosts := mkHosts()
+	if _, err := vm.Place(mkIOVMs(), awareHosts, vm.InterferenceAware); err != nil {
+		return nil, err
+	}
+	sumIOPS := func(hs []*vm.Host) float64 {
+		var total float64
+		for _, h := range hs {
+			if len(h.VMs()) > 0 {
+				total += h.EffectiveDiskIOPS()
+			}
+		}
+		return total
+	}
+	naiveIOPS, awareIOPS := sumIOPS(naiveHosts), sumIOPS(awareHosts)
+
+	// --- Power-peak stacking: 16 diurnal VMs, half day- half night-
+	// peaking, over 8 hosts with a CPU-peak "cap" at 80 % of capacity. ---
+	mkDiurnalVMs := func() []*vm.VM {
+		var vms []*vm.VM
+		for i := 0; i < 16; i++ {
+			// First eight VMs peak in the day, the rest at night, so a
+			// placement that ignores correlation (first-fit in arrival
+			// order) stacks same-phase VMs together.
+			peak := 14.0
+			if i >= 8 {
+				peak = 2.0
+			}
+			cfg := trace.DefaultDiurnalConfig()
+			cfg.Duration = 48 * time.Hour
+			cfg.Step = 10 * time.Minute
+			cfg.PeakHour = peak
+			cfg.Mean = 0.45
+			cfg.Swing = 0.9
+			cfg.NoiseSD = 0.03
+			cfg.BurstRate = 0
+			s, err := trace.GenerateDiurnal(cfg, rng.Fork(fmt.Sprintf("vm%d", i)))
+			if err != nil {
+				panic(err) // valid static config
+			}
+			// Normalize so each VM peaks near its full reservation.
+			s.Normalize(1.0)
+			vms = append(vms, &vm.VM{
+				Name:      fmt.Sprintf("v%d", i),
+				Size:      vm.Resources{CPU: 8, MemGB: 16, DiskIOPS: 50},
+				CPUDemand: s,
+			})
+		}
+		return vms
+	}
+	naive2 := mkHosts()
+	if _, err := vm.Place(mkDiurnalVMs(), naive2, vm.FirstFit); err != nil {
+		return nil, err
+	}
+	smart2 := mkHosts()
+	if _, err := vm.Place(mkDiurnalVMs(), smart2, vm.CorrelationAware); err != nil {
+		return nil, err
+	}
+	worstPeak := func(hs []*vm.Host) float64 {
+		var w float64
+		for _, h := range hs {
+			if p := h.CPUPeak(); p > w {
+				w = p
+			}
+		}
+		return w
+	}
+	capFrac := func(hs []*vm.Host) float64 {
+		// Fraction of (host, time) samples above the 80 % CPU cap.
+		const capLevel = 16 * 0.8
+		var over, total int
+		for _, h := range hs {
+			if len(h.VMs()) == 0 {
+				continue
+			}
+			for i := 0; i < 48*6; i++ {
+				t := time.Duration(i) * 10 * time.Minute
+				if h.CPUDemandAt(t) > capLevel {
+					over++
+				}
+				total++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(over) / float64(total)
+	}
+
+	res := InterfereResult{
+		NaiveIOPS:      naiveIOPS,
+		AwareIOPS:      awareIOPS,
+		NaiveWorstPeak: worstPeak(naive2),
+		SmartWorstPeak: worstPeak(smart2),
+		NaiveCapFrac:   capFrac(naive2),
+		SmartCapFrac:   capFrac(smart2),
+	}
+	if awareIOPS > 0 {
+		res.ThroughputLoss = 1 - naiveIOPS/awareIOPS
+	}
+
+	return res, nil
+}

@@ -1,0 +1,84 @@
+// Package exp contains one runnable experiment per figure and per
+// quantitative claim of the paper (the index in DESIGN.md §3). Each
+// experiment builds its scenario from the library's substrates, runs it
+// deterministically from a seed, and returns a typed result whose Report
+// prints the rows/series the paper's figure or claim corresponds to.
+// EXPERIMENTS.md records paper-claimed vs measured values per experiment.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's outcome.
+type Result interface {
+	// ID is the experiment identifier (fig1 … tier2).
+	ID() string
+	// Report renders the human-readable rows for the experiment.
+	Report() string
+}
+
+// Runner executes an experiment from a seed.
+type Runner func(seed int64) (Result, error)
+
+// registry maps experiment ids to runners. Populated by Register calls
+// from each experiment file's declarations (explicit, not init()).
+func registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1":        RunFig1,
+		"fig2":        RunFig2,
+		"fig3":        RunFig3,
+		"fig4":        RunFig4,
+		"idle60":      RunIdle60,
+		"pue2":        RunPUE2,
+		"animoto":     RunAnimoto,
+		"oversub":     RunOversub,
+		"pathology":   RunPathology,
+		"crac":        RunCRAC,
+		"consolidate": RunConsolidate,
+		"interfere":   RunInterfere,
+		"telemetry":   RunTelemetry,
+		"sensornet":   RunSensorNet,
+		"dvfs":        RunDVFS,
+		"tier2":       RunTier2,
+		// Extensions: research directions the paper sketches plus
+		// ablations of this library's design choices.
+		"capping":           RunCapping,
+		"tiers":             RunTiers,
+		"parking":           RunParking,
+		"distributed":       RunDistributed,
+		"hetero":            RunHetero,
+		"geo":               RunGeo,
+		"ablate-dc":         RunAblateDC,
+		"ablate-forecast":   RunAblateForecast,
+		"ablate-ladder":     RunAblateLadder,
+		"ablate-hysteresis": RunAblateHysteresis,
+	}
+}
+
+// IDs returns all experiment ids in sorted order.
+func IDs() []string {
+	reg := registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, seed int64) (Result, error) {
+	r, ok := registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(seed)
+}
+
+// header renders a report header line.
+func header(id, title string) string {
+	return fmt.Sprintf("=== %s — %s ===\n", id, title)
+}

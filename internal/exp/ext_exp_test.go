@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestCappingExp(t *testing.T) {
+	res := run(t, "capping").(CappingResult)
+	if res.UnprotectedOverCap <= 0.05 {
+		t.Errorf("unprotected over-cap time = %v, want substantial (oversubscribed rack)",
+			res.UnprotectedOverCap)
+	}
+	if res.ProtectedOverCap > 0.02 {
+		t.Errorf("protected over-cap time = %v, want near zero", res.ProtectedOverCap)
+	}
+	if res.ThroughputKept < 0.95 || res.ThroughputKept > 1.0+1e-9 {
+		t.Errorf("throughput kept = %v, want most of it", res.ThroughputKept)
+	}
+	if res.ThrottleEvents == 0 {
+		t.Error("no throttle events despite enforcement")
+	}
+}
+
+func TestGeoExp(t *testing.T) {
+	res := run(t, "geo").(GeoResult)
+	if res.RoutedKWh >= res.HomeKWh {
+		t.Errorf("routing %v kWh not below home-only %v kWh", res.RoutedKWh, res.HomeKWh)
+	}
+	if res.Saving < 0.05 {
+		t.Errorf("geo saving = %v, want meaningful", res.Saving)
+	}
+	if res.Unplaced > 0 {
+		t.Errorf("unplaced work = %v, want 0 (capacity suffices)", res.Unplaced)
+	}
+	if res.EconoShare <= 0 {
+		t.Error("no work served with free cooling")
+	}
+}
+
+func TestAblateForecastExp(t *testing.T) {
+	res := run(t, "ablate-forecast").(AblateForecastResult)
+	byName := map[string]AblateForecastRow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	if len(byName) != 3 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	// The trend-following forecaster must ride the exponential ramp at
+	// least as well as the flat EWMA.
+	if byName["holt"].Shortfall > byName["ewma"].Shortfall {
+		t.Errorf("holt shortfall %v above ewma %v on a ramp",
+			byName["holt"].Shortfall, byName["ewma"].Shortfall)
+	}
+	for name, row := range byName {
+		if row.MeanFleet <= 0 {
+			t.Errorf("%s mean fleet = %v", name, row.MeanFleet)
+		}
+	}
+}
+
+func TestAblateLadderExp(t *testing.T) {
+	res := run(t, "ablate-ladder").(AblateLadderResult)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	byName := map[string]AblateLadderRow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	// A deeper ladder can only help the coordinated optimizer (it
+	// enumerates the ladder and keeps the cheapest feasible point).
+	if byName["default-5"].EnergyKWh > byName["none"].EnergyKWh*1.01 {
+		t.Errorf("5-state ladder %v kWh above no-DVFS %v kWh",
+			byName["default-5"].EnergyKWh, byName["none"].EnergyKWh)
+	}
+	if byName["fine-9"].EnergyKWh > byName["default-5"].EnergyKWh*1.01 {
+		t.Errorf("9-state ladder %v kWh above 5-state %v kWh",
+			byName["fine-9"].EnergyKWh, byName["default-5"].EnergyKWh)
+	}
+}
+
+func TestAblateHysteresisExp(t *testing.T) {
+	res := run(t, "ablate-hysteresis").(AblateHysteresisResult)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	// More hysteresis → no more scale-up events (monotone down the
+	// table), and strictly fewer from the first to the last setting.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].UpSwitches > res.Rows[i-1].UpSwitches {
+			t.Errorf("hysteresis %d has more scale-ups (%d) than %d (%d)",
+				res.Rows[i].DownscaleAfter, res.Rows[i].UpSwitches,
+				res.Rows[i-1].DownscaleAfter, res.Rows[i-1].UpSwitches)
+		}
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.UpSwitches >= first.UpSwitches {
+		t.Errorf("max hysteresis scale-ups %d not below min hysteresis %d",
+			last.UpSwitches, first.UpSwitches)
+	}
+	if last.BootKWh >= first.BootKWh {
+		t.Errorf("max hysteresis boot energy %v not below min %v",
+			last.BootKWh, first.BootKWh)
+	}
+	// The price of hysteresis: a (slightly) larger mean fleet.
+	if last.MeanFleet < first.MeanFleet {
+		t.Errorf("hysteresis should not shrink the mean fleet: %v vs %v",
+			last.MeanFleet, first.MeanFleet)
+	}
+}
+
+func TestAblateDCExp(t *testing.T) {
+	res := run(t, "ablate-dc").(AblateDCResult)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		// DC distribution should save mid-single-digit percent at every
+		// load point ([11] reports ~7%).
+		if row.Saving < 0.02 || row.Saving > 0.15 {
+			t.Errorf("util %v: DC saving = %v, want a few percent", row.Utilization, row.Saving)
+		}
+		if row.DCInKW >= row.ACInKW {
+			t.Errorf("util %v: DC input %v not below AC %v", row.Utilization, row.DCInKW, row.ACInKW)
+		}
+	}
+}
+
+func TestTiersExp(t *testing.T) {
+	res := run(t, "tiers").(TiersResult)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	byName := map[string]TierScaleRow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	// The storage tier's 20x fanout means it runs the largest fleet.
+	if byName["storage"].MeanFleet <= byName["web"].MeanFleet {
+		t.Errorf("storage mean fleet %v not above web %v",
+			byName["storage"].MeanFleet, byName["web"].MeanFleet)
+	}
+	// Every tier actually scaled (max above min), and respected its floor.
+	for name, row := range byName {
+		if row.MaxServers <= row.MinServers {
+			t.Errorf("tier %s never scaled: min %d max %d", name, row.MinServers, row.MaxServers)
+		}
+		if row.MinServers < 1 {
+			t.Errorf("tier %s fell below one server", name)
+		}
+	}
+	if res.Saving < 0.2 {
+		t.Errorf("per-tier elasticity saved only %v", res.Saving)
+	}
+	if res.SLAViolFrac > 0.01 {
+		t.Errorf("elastic tiers violated SLA %v of periods", res.SLAViolFrac)
+	}
+}
+
+func TestParkingExp(t *testing.T) {
+	res := run(t, "parking").(ParkingResult)
+	byName := map[string]ParkingRow{}
+	for _, row := range res.Rows {
+		byName[row.Strategy] = row
+	}
+	on, park, off := byName["always-on"], byName["core-parking"], byName["server-off"]
+	if !(off.EnergyKWh < park.EnergyKWh && park.EnergyKWh < on.EnergyKWh) {
+		t.Errorf("ordering violated: off %.2f, parking %.2f, on %.2f",
+			off.EnergyKWh, park.EnergyKWh, on.EnergyKWh)
+	}
+	// Parking captures a real but partial share of the off saving.
+	if park.SavingVsOff < 0.05 || park.SavingVsOff > 0.8 {
+		t.Errorf("parking captured %v of the off saving, want a partial share", park.SavingVsOff)
+	}
+}
+
+func TestDistributedExp(t *testing.T) {
+	res := run(t, "distributed").(DistributedResult)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	central := res.Rows[0]
+	for _, row := range res.Rows[1:] {
+		rel := (row.EnergyKWh - central.EnergyKWh) / central.EnergyKWh
+		if rel < -0.02 || rel > 0.15 {
+			t.Errorf("%s energy %.1f kWh vs centralized %.1f (%.1f%%)",
+				row.Organization, row.EnergyKWh, central.EnergyKWh, rel*100)
+		}
+		if row.ViolRate > 0.1 {
+			t.Errorf("%s violation rate %.3f", row.Organization, row.ViolRate)
+		}
+		if row.Messages <= 0 {
+			t.Errorf("%s recorded no coordination messages", row.Organization)
+		}
+	}
+}
+
+func TestHeteroExp(t *testing.T) {
+	res := run(t, "hetero").(HeteroResult)
+	if res.BigLittleKWh >= res.HomogeneousKWh {
+		t.Errorf("big.LITTLE %v kWh not below homogeneous %v", res.BigLittleKWh, res.HomogeneousKWh)
+	}
+	if res.Saving < 0.03 {
+		t.Errorf("daily saving = %v, want a few percent (dynamic share only)", res.Saving)
+	}
+	if res.LightLoadSaving < 0.4 {
+		t.Errorf("light-load dynamic saving = %v, want large", res.LightLoadSaving)
+	}
+}

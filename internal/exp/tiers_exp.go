@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// tiers — per-tier elastic scaling of a multi-tier service (§3.2)
+// ---------------------------------------------------------------------------
+
+// TierScaleRow summarizes one tier's week.
+type TierScaleRow struct {
+	Name       string
+	MinServers int
+	MaxServers int
+	MeanFleet  float64
+}
+
+// TiersResult answers the paper's §3.2 question — "How do different
+// tiers scale when user demands increase or decrease?" — on a three-tier
+// service under a diurnal demand, and compares elastic against static
+// energy.
+type TiersResult struct {
+	Rows         []TierScaleRow
+	StaticKWh    float64
+	ElasticKWh   float64
+	Saving       float64
+	SLAViolFrac  float64
+	WorstRespond time.Duration
+}
+
+// ID implements Result.
+func (TiersResult) ID() string { return "tiers" }
+
+// Report implements Result.
+func (r TiersResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("tiers", "per-tier elastic scaling of a multi-tier service (§3.2)"))
+	b.WriteString("tier      min  max  mean_servers\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s  %3d  %3d  %12.1f\n", row.Name, row.MinServers, row.MaxServers, row.MeanFleet)
+	}
+	fmt.Fprintf(&b, "week energy: static %.0f kWh, per-tier elastic %.0f kWh (%.0f%% saved)\n",
+		r.StaticKWh, r.ElasticKWh, r.Saving*100)
+	fmt.Fprintf(&b, "SLA violations: %.2f%% of periods (worst %v)\n",
+		r.SLAViolFrac*100, r.WorstRespond.Round(time.Millisecond))
+	return b.String()
+}
+
+// RunTiers scales each tier of a web/app/storage stack independently over
+// a diurnal week; the storage tier's 20× fanout makes it dominate the
+// fleet — the compounding the paper warns about ("a user request can hit
+// hundreds or even thousands of machines").
+func RunTiers(seed int64) (Result, error) {
+	cfg := service.DefaultThreeTier("shop")
+	srv := server.DefaultConfig()
+	dem := trace.DefaultDiurnalConfig()
+	dem.Duration = 7 * 24 * time.Hour
+	dem.Step = 5 * time.Minute
+	dem.Mean = 900 // user requests/s
+	dem.Swing = 0.7
+	dem.NoiseSD = 0.04
+	demand, err := trace.GenerateDiurnal(dem, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+
+	// Static sizing: worst case with 20 % headroom at 60 % utilization.
+	staticCounts, err := service.ServersFor(cfg, demand.Max()*1.2, 0.6)
+	if err != nil {
+		return nil, err
+	}
+
+	idleW := srv.PeakPower * srv.IdleFraction
+	dynW := srv.PeakPower - idleW
+	tierEnergy := func(counts []int, rep service.Report) float64 {
+		var w float64
+		for i, n := range counts {
+			w += float64(n)*idleW + float64(n)*dynW*rep.Tiers[i].MeanUtilization
+		}
+		return w
+	}
+	capsFor := func(counts []int) [][]float64 {
+		out := make([][]float64, len(cfg.Tiers))
+		for i, tier := range cfg.Tiers {
+			row := make([]float64, counts[i])
+			for j := range row {
+				row[j] = tier.OpCapacityPerServer
+			}
+			out[i] = row
+		}
+		return out
+	}
+
+	mins := make([]int, len(cfg.Tiers))
+	maxs := make([]int, len(cfg.Tiers))
+	sums := make([]float64, len(cfg.Tiers))
+	var staticJ, elasticJ float64
+	var viol, steps int
+	var worst time.Duration
+	for i := 0; i < demand.Len(); i++ {
+		t := time.Duration(i) * dem.Step
+		rps := demand.At(t)
+
+		// Elastic: size every tier for the current demand.
+		counts, err := service.ServersFor(cfg, rps, 0.6)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := service.Evaluate(cfg, rps, capsFor(counts), service.PolicySpread)
+		if err != nil {
+			return nil, err
+		}
+		if rep.SLAViolated {
+			viol++
+		}
+		if rep.Response > worst {
+			worst = rep.Response
+		}
+		elasticJ += tierEnergy(counts, rep) * dem.Step.Seconds()
+		for ti, n := range counts {
+			if i == 0 || n < mins[ti] {
+				mins[ti] = n
+			}
+			if n > maxs[ti] {
+				maxs[ti] = n
+			}
+			sums[ti] += float64(n)
+		}
+
+		// Static: every tier at worst-case size.
+		srep, err := service.Evaluate(cfg, rps, capsFor(staticCounts), service.PolicySpread)
+		if err != nil {
+			return nil, err
+		}
+		staticJ += tierEnergy(staticCounts, srep) * dem.Step.Seconds()
+		steps++
+	}
+
+	res := TiersResult{
+		StaticKWh:    staticJ / 3.6e6,
+		ElasticKWh:   elasticJ / 3.6e6,
+		SLAViolFrac:  float64(viol) / float64(steps),
+		WorstRespond: worst,
+	}
+	if staticJ > 0 {
+		res.Saving = 1 - elasticJ/staticJ
+	}
+	for ti, tier := range cfg.Tiers {
+		res.Rows = append(res.Rows, TierScaleRow{
+			Name:       tier.Name,
+			MinServers: mins[ti],
+			MaxServers: maxs[ti],
+			MeanFleet:  sums[ti] / float64(steps),
+		})
+	}
+	return res, nil
+}

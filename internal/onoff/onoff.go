@@ -1,0 +1,194 @@
+// Package onoff implements sleep (on/off) scheduling policies (§4.3):
+// forecast-driven energy-aware server provisioning with wake-up-delay
+// awareness and hysteresis (after Chen et al. [18]), and the naive
+// delay-triggered policy whose oblivious composition with DVFS produces
+// the oscillation pathology of §5.1 (after Heo et al. [29]).
+package onoff
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/control"
+)
+
+// Provisioner decides how many servers should be awake for a forecast
+// load. It looks ahead by the boot delay (a server turned on now helps
+// only after it boots), adds spares against flash crowds, and applies
+// downscale hysteresis so short dips do not cycle machines — cycling
+// wastes boot energy ("sometime, this wakeup process may consume more
+// energy and offset the benefit of sleeping").
+type Provisioner struct {
+	forecaster        control.Forecaster
+	capacityPerServer float64
+	targetUtil        float64
+	spares            int
+	min, max          int
+	downscaleAfter    int
+	lookaheadSteps    int
+
+	// belowFor counts consecutive decisions where the demand-implied
+	// count was below the current count.
+	belowFor int
+}
+
+// ProvisionerConfig configures a Provisioner.
+type ProvisionerConfig struct {
+	// CapacityPerServer is the load one awake server carries at
+	// utilization 1 (connections, requests/s — caller's unit).
+	CapacityPerServer float64
+	// TargetUtil is the planned per-server utilization (headroom below
+	// 1 keeps response time sane).
+	TargetUtil float64
+	// Spares is the extra server count held against login spikes.
+	Spares int
+	// Min and Max bound the fleet.
+	Min, Max int
+	// DownscaleAfter is how many consecutive low decisions are needed
+	// before shrinking (hysteresis).
+	DownscaleAfter int
+	// LookaheadSteps is how many decision periods ahead the forecast
+	// must cover — set it to ceil(bootDelay / decisionPeriod).
+	LookaheadSteps int
+	// Forecaster predicts load; nil defaults to a Holt linear-trend
+	// forecaster, which tracks ramps like flash-crowd onsets.
+	Forecaster control.Forecaster
+}
+
+// NewProvisioner builds the policy.
+func NewProvisioner(cfg ProvisionerConfig) (*Provisioner, error) {
+	if cfg.CapacityPerServer <= 0 {
+		return nil, fmt.Errorf("onoff: capacity per server %v must be positive", cfg.CapacityPerServer)
+	}
+	if cfg.TargetUtil <= 0 || cfg.TargetUtil > 1 {
+		return nil, fmt.Errorf("onoff: target utilization %v out of (0,1]", cfg.TargetUtil)
+	}
+	if cfg.Spares < 0 {
+		return nil, fmt.Errorf("onoff: spares %d must be non-negative", cfg.Spares)
+	}
+	if cfg.Min < 0 || cfg.Max < cfg.Min || cfg.Max == 0 {
+		return nil, fmt.Errorf("onoff: bounds [%d,%d] invalid", cfg.Min, cfg.Max)
+	}
+	if cfg.DownscaleAfter < 1 {
+		return nil, fmt.Errorf("onoff: downscale hysteresis %d must be >= 1", cfg.DownscaleAfter)
+	}
+	if cfg.LookaheadSteps < 1 {
+		return nil, fmt.Errorf("onoff: lookahead %d must be >= 1", cfg.LookaheadSteps)
+	}
+	f := cfg.Forecaster
+	if f == nil {
+		var err error
+		f, err = control.NewHolt(0.5, 0.3)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Provisioner{
+		forecaster:        f,
+		capacityPerServer: cfg.CapacityPerServer,
+		targetUtil:        cfg.TargetUtil,
+		spares:            cfg.Spares,
+		min:               cfg.Min,
+		max:               cfg.Max,
+		downscaleAfter:    cfg.DownscaleAfter,
+		lookaheadSteps:    cfg.LookaheadSteps,
+	}, nil
+}
+
+// Observe folds in a load measurement (call once per decision period,
+// before Desired).
+func (p *Provisioner) Observe(load float64) {
+	if load < 0 {
+		load = 0
+	}
+	p.forecaster.Observe(load)
+}
+
+// Desired returns the server count to run next period given the current
+// count. Scale-ups apply immediately (capacity lags by the boot delay,
+// which the lookahead anticipated); scale-downs wait out the hysteresis.
+func (p *Provisioner) Desired(current int) int {
+	forecast := p.forecaster.Forecast(p.lookaheadSteps)
+	if forecast < 0 {
+		forecast = 0
+	}
+	need := int(ceilDiv(forecast, p.capacityPerServer*p.targetUtil)) + p.spares
+	if need < p.min {
+		need = p.min
+	}
+	if need > p.max {
+		need = p.max
+	}
+	switch {
+	case need > current:
+		p.belowFor = 0
+		return need
+	case need < current:
+		p.belowFor++
+		if p.belowFor >= p.downscaleAfter {
+			p.belowFor = 0
+			return need
+		}
+		return current
+	default:
+		p.belowFor = 0
+		return current
+	}
+}
+
+func ceilDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	n := a / b
+	if n != float64(int(n)) {
+		return float64(int(n) + 1)
+	}
+	return n
+}
+
+// DelayTrigger is the naive delay-thresholded on/off policy of the §5.1
+// pathology: add servers when measured delay exceeds High, remove when it
+// falls below Low. It knows nothing about DVFS — when a frequency governor
+// slows servers and delay rises, this policy concludes the system is
+// overloaded and wakes more machines.
+type DelayTrigger struct {
+	// High and Low are the delay thresholds (High > Low).
+	High, Low time.Duration
+	// StepUp and StepDown are the count adjustments per trigger.
+	StepUp, StepDown int
+	// Min and Max bound the fleet.
+	Min, Max int
+}
+
+// Validate checks the trigger.
+func (d DelayTrigger) Validate() error {
+	if d.High <= d.Low || d.Low <= 0 {
+		return fmt.Errorf("onoff: delay thresholds low=%v high=%v invalid", d.Low, d.High)
+	}
+	if d.StepUp < 1 || d.StepDown < 1 {
+		return fmt.Errorf("onoff: steps must be >= 1")
+	}
+	if d.Min < 0 || d.Max < d.Min || d.Max == 0 {
+		return fmt.Errorf("onoff: bounds [%d,%d] invalid", d.Min, d.Max)
+	}
+	return nil
+}
+
+// Desired returns the next server count for a measured delay.
+func (d DelayTrigger) Desired(current int, delay time.Duration) int {
+	next := current
+	switch {
+	case delay > d.High:
+		next = current + d.StepUp
+	case delay < d.Low:
+		next = current - d.StepDown
+	}
+	if next < d.Min {
+		next = d.Min
+	}
+	if next > d.Max {
+		next = d.Max
+	}
+	return next
+}

@@ -1,0 +1,207 @@
+package onoff
+
+import (
+	"testing"
+	"time"
+)
+
+func mustProvisioner(t *testing.T, cfg ProvisionerConfig) *Provisioner {
+	t.Helper()
+	p, err := NewProvisioner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func baseConfig() ProvisionerConfig {
+	return ProvisionerConfig{
+		CapacityPerServer: 100,
+		TargetUtil:        0.8,
+		Spares:            1,
+		Min:               1,
+		Max:               100,
+		DownscaleAfter:    3,
+		LookaheadSteps:    2,
+	}
+}
+
+func TestProvisionerScalesWithLoad(t *testing.T) {
+	p := mustProvisioner(t, baseConfig())
+	for i := 0; i < 10; i++ {
+		p.Observe(400) // needs ceil(400/80)=5 + 1 spare = 6
+	}
+	if got := p.Desired(3); got != 6 {
+		t.Errorf("Desired at steady 400 load = %d, want 6", got)
+	}
+}
+
+func TestProvisionerAnticipatesRamp(t *testing.T) {
+	// With a Holt forecaster and lookahead, a steady ramp should
+	// provision above the current instantaneous requirement — the
+	// boot-delay-aware behaviour of [18].
+	p := mustProvisioner(t, baseConfig())
+	var load float64
+	for i := 0; i < 30; i++ {
+		load = 100 + 50*float64(i) // strong ramp
+		p.Observe(load)
+	}
+	nowNeed := int(load/80) + 1 + 1
+	if got := p.Desired(nowNeed); got <= nowNeed {
+		t.Errorf("ramp-aware Desired = %d, want above instantaneous need %d", got, nowNeed)
+	}
+}
+
+func TestProvisionerDownscaleHysteresis(t *testing.T) {
+	p := mustProvisioner(t, baseConfig())
+	for i := 0; i < 10; i++ {
+		p.Observe(800)
+	}
+	high := p.Desired(1) // scale up immediately
+	if high < 10 {
+		t.Fatalf("high-load fleet = %d, want >= 10", high)
+	}
+	// Load collapses; the fleet must hold for DownscaleAfter decisions.
+	current := high
+	for i := 0; i < 10; i++ {
+		p.Observe(80)
+	}
+	first := p.Desired(current)
+	if first != current {
+		t.Fatalf("downscaled on first low decision: %d -> %d", current, first)
+	}
+	second := p.Desired(current)
+	if second != current {
+		t.Fatalf("downscaled on second low decision")
+	}
+	third := p.Desired(current)
+	if third >= current {
+		t.Fatalf("did not downscale after hysteresis window: %d", third)
+	}
+}
+
+func TestProvisionerUpscaleIsImmediate(t *testing.T) {
+	p := mustProvisioner(t, baseConfig())
+	for i := 0; i < 5; i++ {
+		p.Observe(100)
+	}
+	low := p.Desired(2)
+	for i := 0; i < 2; i++ {
+		p.Observe(2000)
+	}
+	if got := p.Desired(low); got <= low {
+		t.Errorf("upscale not immediate: %d -> %d", low, got)
+	}
+}
+
+func TestProvisionerBounds(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Min = 4
+	cfg.Max = 8
+	p := mustProvisioner(t, cfg)
+	p.Observe(0)
+	// Hysteresis must not block the floor: run enough decisions.
+	got := 8
+	for i := 0; i < 5; i++ {
+		p.Observe(0)
+		got = p.Desired(got)
+	}
+	if got != 4 {
+		t.Errorf("zero-load fleet = %d, want floor 4", got)
+	}
+	for i := 0; i < 5; i++ {
+		p.Observe(1e9)
+	}
+	if got := p.Desired(4); got != 8 {
+		t.Errorf("huge-load fleet = %d, want ceiling 8", got)
+	}
+}
+
+func TestProvisionerNegativeLoadClamped(t *testing.T) {
+	p := mustProvisioner(t, baseConfig())
+	for i := 0; i < 5; i++ {
+		p.Observe(-100)
+	}
+	got := 5
+	for i := 0; i < 5; i++ {
+		p.Observe(-100)
+		got = p.Desired(got)
+	}
+	if got != baseConfig().Min+baseConfig().Spares && got != baseConfig().Min {
+		t.Errorf("negative-load fleet = %d, want near floor", got)
+	}
+}
+
+func TestProvisionerValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*ProvisionerConfig)
+	}{
+		{"zero capacity", func(c *ProvisionerConfig) { c.CapacityPerServer = 0 }},
+		{"zero target", func(c *ProvisionerConfig) { c.TargetUtil = 0 }},
+		{"target > 1", func(c *ProvisionerConfig) { c.TargetUtil = 1.5 }},
+		{"negative spares", func(c *ProvisionerConfig) { c.Spares = -1 }},
+		{"max below min", func(c *ProvisionerConfig) { c.Min = 10; c.Max = 5 }},
+		{"zero max", func(c *ProvisionerConfig) { c.Min = 0; c.Max = 0 }},
+		{"zero hysteresis", func(c *ProvisionerConfig) { c.DownscaleAfter = 0 }},
+		{"zero lookahead", func(c *ProvisionerConfig) { c.LookaheadSteps = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := baseConfig()
+			tt.mutate(&cfg)
+			if _, err := NewProvisioner(cfg); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestDelayTrigger(t *testing.T) {
+	d := DelayTrigger{
+		High: 100 * time.Millisecond, Low: 30 * time.Millisecond,
+		StepUp: 2, StepDown: 1, Min: 1, Max: 10,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Desired(5, 200*time.Millisecond); got != 7 {
+		t.Errorf("slow delay: %d, want 7", got)
+	}
+	if got := d.Desired(5, 10*time.Millisecond); got != 4 {
+		t.Errorf("fast delay: %d, want 4", got)
+	}
+	if got := d.Desired(5, 50*time.Millisecond); got != 5 {
+		t.Errorf("in-band delay: %d, want unchanged 5", got)
+	}
+	if got := d.Desired(10, 200*time.Millisecond); got != 10 {
+		t.Errorf("ceiling: %d, want 10", got)
+	}
+	if got := d.Desired(1, 10*time.Millisecond); got != 1 {
+		t.Errorf("floor: %d, want 1", got)
+	}
+}
+
+func TestDelayTriggerValidation(t *testing.T) {
+	base := DelayTrigger{High: 100 * time.Millisecond, Low: 30 * time.Millisecond, StepUp: 1, StepDown: 1, Min: 1, Max: 10}
+	tests := []struct {
+		name   string
+		mutate func(*DelayTrigger)
+	}{
+		{"high below low", func(d *DelayTrigger) { d.High = d.Low / 2 }},
+		{"zero low", func(d *DelayTrigger) { d.Low = 0 }},
+		{"zero step up", func(d *DelayTrigger) { d.StepUp = 0 }},
+		{"zero step down", func(d *DelayTrigger) { d.StepDown = 0 }},
+		{"zero max", func(d *DelayTrigger) { d.Min = 0; d.Max = 0 }},
+		{"max below min", func(d *DelayTrigger) { d.Min = 5; d.Max = 2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := base
+			tt.mutate(&d)
+			if err := d.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}

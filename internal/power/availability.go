@@ -1,0 +1,233 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Component is a repairable infrastructure element characterized by its
+// mean time between failures and mean time to repair. Steady-state
+// availability is MTBF / (MTBF + MTTR).
+type Component struct {
+	// Name identifies the component in reports.
+	Name string
+	// MTBF is the mean time between failures.
+	MTBF time.Duration
+	// MTTR is the mean time to repair.
+	MTTR time.Duration
+}
+
+// Availability returns the steady-state availability in [0,1].
+func (c Component) Availability() (float64, error) {
+	if c.MTBF <= 0 {
+		return 0, fmt.Errorf("power: component %q MTBF %v must be positive", c.Name, c.MTBF)
+	}
+	if c.MTTR < 0 {
+		return 0, fmt.Errorf("power: component %q MTTR %v must be non-negative", c.Name, c.MTTR)
+	}
+	return float64(c.MTBF) / float64(c.MTBF+c.MTTR), nil
+}
+
+// SeriesAvailability combines elements that must all be up (a single
+// distribution path): the product of availabilities.
+func SeriesAvailability(as ...float64) (float64, error) {
+	prod := 1.0
+	for i, a := range as {
+		if a < 0 || a > 1 {
+			return 0, fmt.Errorf("power: availability[%d] = %v out of [0,1]", i, a)
+		}
+		prod *= a
+	}
+	return prod, nil
+}
+
+// RedundantAvailability returns the probability that at least `need` of
+// `have` independent identical units (each with availability a) are up —
+// the N+1 capacity-redundancy model of tier-2 facilities.
+func RedundantAvailability(a float64, need, have int) (float64, error) {
+	if a < 0 || a > 1 {
+		return 0, fmt.Errorf("power: availability %v out of [0,1]", a)
+	}
+	if need <= 0 || have < need {
+		return 0, fmt.Errorf("power: need %d of %d units invalid", need, have)
+	}
+	var p float64
+	for k := need; k <= have; k++ {
+		p += binomialPMF(have, k, a)
+	}
+	return math.Min(1, p), nil
+}
+
+func binomialPMF(n, k int, p float64) float64 {
+	// Use logs for numerical robustness at large n.
+	logC := lgamma(float64(n+1)) - lgamma(float64(k+1)) - lgamma(float64(n-k+1))
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Tier classifies facility availability per the Uptime Institute bands
+// the paper cites ([6]: "a tier-2 data center, providing 99.741%
+// availability, is typical for hosting Internet services").
+type Tier int
+
+// Uptime Institute tier levels.
+const (
+	TierBelow1 Tier = iota
+	Tier1           // 99.671 %
+	Tier2           // 99.741 %
+	Tier3           // 99.982 %
+	Tier4           // 99.995 %
+)
+
+// String renders the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierBelow1:
+		return "below-tier-1"
+	case Tier1:
+		return "tier-1"
+	case Tier2:
+		return "tier-2"
+	case Tier3:
+		return "tier-3"
+	case Tier4:
+		return "tier-4"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// Tier availability thresholds (fractions).
+const (
+	Tier1Availability = 0.99671
+	Tier2Availability = 0.99741
+	Tier3Availability = 0.99982
+	Tier4Availability = 0.99995
+)
+
+// ClassifyTier maps an availability to the highest tier whose threshold
+// it meets.
+func ClassifyTier(a float64) Tier {
+	switch {
+	case a >= Tier4Availability:
+		return Tier4
+	case a >= Tier3Availability:
+		return Tier3
+	case a >= Tier2Availability:
+		return Tier2
+	case a >= Tier1Availability:
+		return Tier1
+	default:
+		return TierBelow1
+	}
+}
+
+// Tier2Design is the canonical tier-2 facility of §2.1: redundant (N+1)
+// UPS and generator capacity, but a single distribution path.
+type Tier2Design struct {
+	// Path is the non-redundant series chain (switchgear, distribution
+	// panels, PDU transformers, wiring).
+	Path []Component
+	// Mechanical is the series cooling chain (CRAC, chilled water).
+	Mechanical []Component
+	// UPSUnit is one UPS module; UPSNeed of UPSHave must be up.
+	UPSUnit          Component
+	UPSNeed, UPSHave int
+	// GenUnit is one generator; GenNeed of GenHave must be up when the
+	// utility fails. Utility is the grid feed itself.
+	GenUnit          Component
+	GenNeed, GenHave int
+	Utility          Component
+}
+
+// DefaultTier2Design uses component reliability figures typical of the
+// facilities literature, calibrated so the composite lands in the tier-2
+// band (~99.741 %).
+func DefaultTier2Design() Tier2Design {
+	const h = time.Hour
+	return Tier2Design{
+		Path: []Component{
+			{Name: "switchgear", MTBF: 80_000 * h, MTTR: 24 * h},
+			{Name: "distribution-panel", MTBF: 60_000 * h, MTTR: 12 * h},
+			{Name: "pdu-transformer", MTBF: 50_000 * h, MTTR: 24 * h},
+		},
+		Mechanical: []Component{
+			{Name: "crac-plant", MTBF: 20_000 * h, MTTR: 16 * h},
+			{Name: "chilled-water", MTBF: 35_000 * h, MTTR: 20 * h},
+		},
+		UPSUnit: Component{Name: "ups-module", MTBF: 8_000 * h, MTTR: 48 * h},
+		UPSNeed: 1, UPSHave: 2,
+		GenUnit: Component{Name: "generator", MTBF: 2_000 * h, MTTR: 24 * h},
+		GenNeed: 1, GenHave: 2,
+		Utility: Component{Name: "utility-feed", MTBF: 1_500 * h, MTTR: 4 * h},
+	}
+}
+
+// Availability computes the design's composite availability. Power source
+// is available when the utility is up OR enough generators are up (the
+// UPS rides through the transfer); the source, UPS bank, path, and
+// mechanical plant are in series.
+func (d Tier2Design) Availability() (float64, error) {
+	aUtility, err := d.Utility.Availability()
+	if err != nil {
+		return 0, err
+	}
+	aGenUnit, err := d.GenUnit.Availability()
+	if err != nil {
+		return 0, err
+	}
+	aGens, err := RedundantAvailability(aGenUnit, d.GenNeed, d.GenHave)
+	if err != nil {
+		return 0, err
+	}
+	// Utility in parallel with the generator bank.
+	aSource := 1 - (1-aUtility)*(1-aGens)
+
+	aUPSUnit, err := d.UPSUnit.Availability()
+	if err != nil {
+		return 0, err
+	}
+	aUPS, err := RedundantAvailability(aUPSUnit, d.UPSNeed, d.UPSHave)
+	if err != nil {
+		return 0, err
+	}
+
+	series := []float64{aSource, aUPS}
+	for _, c := range append(append([]Component{}, d.Path...), d.Mechanical...) {
+		a, err := c.Availability()
+		if err != nil {
+			return 0, err
+		}
+		series = append(series, a)
+	}
+	return SeriesAvailability(series...)
+}
+
+// DowntimePerYear converts an availability into expected downtime per
+// year.
+func DowntimePerYear(a float64) time.Duration {
+	if a < 0 {
+		a = 0
+	}
+	if a > 1 {
+		a = 1
+	}
+	return time.Duration((1 - a) * 365.25 * 24 * float64(time.Hour))
+}

@@ -1,0 +1,182 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestComponentAvailability(t *testing.T) {
+	c := Component{Name: "x", MTBF: 99 * time.Hour, MTTR: time.Hour}
+	a, err := c.Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.99) > 1e-12 {
+		t.Errorf("availability = %v, want 0.99", a)
+	}
+	if _, err := (Component{Name: "bad", MTBF: 0}).Availability(); err == nil {
+		t.Error("zero MTBF should error")
+	}
+	if _, err := (Component{Name: "bad", MTBF: time.Hour, MTTR: -time.Hour}).Availability(); err == nil {
+		t.Error("negative MTTR should error")
+	}
+}
+
+func TestSeriesAvailability(t *testing.T) {
+	a, err := SeriesAvailability(0.9, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.81) > 1e-12 {
+		t.Errorf("series = %v, want 0.81", a)
+	}
+	if _, err := SeriesAvailability(1.5); err == nil {
+		t.Error("out-of-range availability should error")
+	}
+	empty, err := SeriesAvailability()
+	if err != nil || empty != 1 {
+		t.Errorf("empty series = %v, %v; want 1, nil", empty, err)
+	}
+}
+
+func TestRedundantAvailability(t *testing.T) {
+	// 1-of-2 with a=0.9: 1 - 0.01 = 0.99.
+	a, err := RedundantAvailability(0.9, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.99) > 1e-9 {
+		t.Errorf("1-of-2 = %v, want 0.99", a)
+	}
+	// 2-of-2 is just series.
+	a, err = RedundantAvailability(0.9, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.81) > 1e-9 {
+		t.Errorf("2-of-2 = %v, want 0.81", a)
+	}
+	// Degenerate probabilities.
+	if a, _ := RedundantAvailability(0, 1, 3); a != 0 {
+		t.Errorf("all-dead redundancy = %v, want 0", a)
+	}
+	if a, _ := RedundantAvailability(1, 2, 3); a != 1 {
+		t.Errorf("perfect units = %v, want 1", a)
+	}
+	if _, err := RedundantAvailability(0.9, 0, 2); err == nil {
+		t.Error("need=0 should error")
+	}
+	if _, err := RedundantAvailability(0.9, 3, 2); err == nil {
+		t.Error("need>have should error")
+	}
+	if _, err := RedundantAvailability(1.2, 1, 2); err == nil {
+		t.Error("a>1 should error")
+	}
+}
+
+func TestRedundancyHelps(t *testing.T) {
+	check := func(rawA float64, extra uint8) bool {
+		a := math.Abs(math.Mod(rawA, 1))
+		if math.IsNaN(a) {
+			return true
+		}
+		have := 2 + int(extra%4)
+		single := a
+		redundant, err := RedundantAvailability(a, 1, have)
+		if err != nil {
+			return false
+		}
+		return redundant >= single-1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTier2DesignLandsInBand(t *testing.T) {
+	// Paper §2.1: "A tier-2 data center, providing 99.741% availability,
+	// is typical for hosting Internet services."
+	a, err := DefaultTier2Design().Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < Tier2Availability || a >= Tier3Availability {
+		t.Errorf("tier-2 design availability = %.5f, want in [%.5f, %.5f)",
+			a, Tier2Availability, Tier3Availability)
+	}
+	if got := ClassifyTier(a); got != Tier2 {
+		t.Errorf("classified as %v, want tier-2", got)
+	}
+}
+
+func TestClassifyTier(t *testing.T) {
+	tests := []struct {
+		a    float64
+		want Tier
+	}{
+		{0.5, TierBelow1},
+		{0.997, Tier1},
+		{0.998, Tier2},
+		{0.9999, Tier3},
+		{0.99996, Tier4},
+		{1.0, Tier4},
+	}
+	for _, tt := range tests {
+		if got := ClassifyTier(tt.a); got != tt.want {
+			t.Errorf("ClassifyTier(%v) = %v, want %v", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	for tier, want := range map[Tier]string{
+		TierBelow1: "below-tier-1", Tier1: "tier-1", Tier2: "tier-2",
+		Tier3: "tier-3", Tier4: "tier-4", Tier(42): "tier(42)",
+	} {
+		if tier.String() != want {
+			t.Errorf("Tier.String() = %q, want %q", tier.String(), want)
+		}
+	}
+}
+
+func TestDowntimePerYear(t *testing.T) {
+	// 99.741 % availability ≈ 22.7 hours of downtime per year.
+	d := DowntimePerYear(Tier2Availability)
+	if d < 22*time.Hour || d > 23*time.Hour {
+		t.Errorf("tier-2 downtime = %v, want ~22.7h", d)
+	}
+	if DowntimePerYear(1) != 0 {
+		t.Error("perfect availability should have zero downtime")
+	}
+	if DowntimePerYear(2) != 0 {
+		t.Error("availability > 1 should clamp")
+	}
+	if DowntimePerYear(-1) != DowntimePerYear(0) {
+		t.Error("availability < 0 should clamp")
+	}
+}
+
+func TestTier2AvailabilityValidatesComponents(t *testing.T) {
+	d := DefaultTier2Design()
+	d.Utility.MTBF = 0
+	if _, err := d.Availability(); err == nil {
+		t.Error("invalid utility should propagate error")
+	}
+	d = DefaultTier2Design()
+	d.UPSUnit.MTBF = 0
+	if _, err := d.Availability(); err == nil {
+		t.Error("invalid UPS should propagate error")
+	}
+	d = DefaultTier2Design()
+	d.GenUnit.MTBF = 0
+	if _, err := d.Availability(); err == nil {
+		t.Error("invalid generator should propagate error")
+	}
+	d = DefaultTier2Design()
+	d.Path[0].MTBF = 0
+	if _, err := d.Availability(); err == nil {
+		t.Error("invalid path component should propagate error")
+	}
+}

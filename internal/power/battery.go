@@ -1,0 +1,117 @@
+package power
+
+import (
+	"fmt"
+	"time"
+)
+
+// Battery models the UPS energy store of §2.1 ("power drawn from the grid
+// is transformed and conditioned to charge the UPS system (based on
+// batteries or flying wheels)"): it charges from the grid, discharges to
+// carry the critical load through an outage, and defines the facility's
+// ride-through window until generators pick up.
+type Battery struct {
+	capacityJ  float64
+	chargeJ    float64
+	maxChargeW float64
+	efficiency float64
+	cycles     int
+	depleted   int
+}
+
+// NewBattery builds a store with the given usable capacity (J), maximum
+// charging power (W), and round-trip efficiency in (0,1].
+func NewBattery(capacityJ, maxChargeW, efficiency float64) (*Battery, error) {
+	if capacityJ <= 0 {
+		return nil, fmt.Errorf("power: battery capacity %v must be positive", capacityJ)
+	}
+	if maxChargeW <= 0 {
+		return nil, fmt.Errorf("power: battery charge rate %v must be positive", maxChargeW)
+	}
+	if efficiency <= 0 || efficiency > 1 {
+		return nil, fmt.Errorf("power: battery efficiency %v out of (0,1]", efficiency)
+	}
+	return &Battery{
+		capacityJ:  capacityJ,
+		chargeJ:    capacityJ, // delivered full, as installed systems are
+		maxChargeW: maxChargeW,
+		efficiency: efficiency,
+	}, nil
+}
+
+// BatteryForAutonomy sizes a battery to carry loadW for the given
+// autonomy (typical UPS strings hold 5–15 minutes, enough to start and
+// transfer to generators).
+func BatteryForAutonomy(loadW float64, autonomy time.Duration, efficiency float64) (*Battery, error) {
+	if loadW <= 0 {
+		return nil, fmt.Errorf("power: autonomy load %v must be positive", loadW)
+	}
+	if autonomy <= 0 {
+		return nil, fmt.Errorf("power: autonomy %v must be positive", autonomy)
+	}
+	capacity := loadW * autonomy.Seconds() / efficiency
+	return NewBattery(capacity, loadW/4, efficiency)
+}
+
+// ChargeFraction reports the state of charge in [0,1].
+func (b *Battery) ChargeFraction() float64 { return b.chargeJ / b.capacityJ }
+
+// Cycles reports completed discharge events (any depth).
+func (b *Battery) Cycles() int { return b.cycles }
+
+// Depletions reports discharges that ran the store to empty — the
+// facility-drop events a tier model cares about.
+func (b *Battery) Depletions() int { return b.depleted }
+
+// Autonomy reports how long the current charge carries loadW.
+func (b *Battery) Autonomy(loadW float64) time.Duration {
+	if loadW <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	secs := b.chargeJ * b.efficiency / loadW
+	return time.Duration(secs * float64(time.Second))
+}
+
+// Discharge carries loadW for dt, returning the duration actually covered
+// (shorter when the store empties mid-interval) and whether the load was
+// fully carried.
+func (b *Battery) Discharge(loadW float64, dt time.Duration) (covered time.Duration, ok bool) {
+	if loadW <= 0 || dt <= 0 {
+		return dt, true
+	}
+	b.cycles++
+	needJ := loadW * dt.Seconds() / b.efficiency
+	if needJ <= b.chargeJ {
+		b.chargeJ -= needJ
+		return dt, true
+	}
+	secs := b.chargeJ * b.efficiency / loadW
+	b.chargeJ = 0
+	b.depleted++
+	return time.Duration(secs * float64(time.Second)), false
+}
+
+// Recharge absorbs grid power for dt at up to the maximum charge rate and
+// returns the grid power actually drawn (the charging load the facility's
+// feed must carry on top of the critical load).
+func (b *Battery) Recharge(dt time.Duration) (gridW float64) {
+	if dt <= 0 || b.chargeJ >= b.capacityJ {
+		return 0
+	}
+	roomJ := b.capacityJ - b.chargeJ
+	maxJ := b.maxChargeW * dt.Seconds()
+	put := maxJ
+	if put > roomJ {
+		put = roomJ
+	}
+	b.chargeJ += put
+	// Charging losses appear as extra grid draw.
+	return put / b.efficiency / dt.Seconds()
+}
+
+// RideThrough answers the §2.1 sizing question directly: given the
+// battery and critical load, does the store cover an outage of the given
+// length (e.g. until generators are online)?
+func (b *Battery) RideThrough(loadW float64, outage time.Duration) bool {
+	return b.Autonomy(loadW) >= outage
+}

@@ -1,0 +1,137 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewBatteryValidation(t *testing.T) {
+	if _, err := NewBattery(0, 100, 0.9); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, err := NewBattery(1000, 0, 0.9); err == nil {
+		t.Error("zero charge rate should error")
+	}
+	if _, err := NewBattery(1000, 100, 0); err == nil {
+		t.Error("zero efficiency should error")
+	}
+	if _, err := NewBattery(1000, 100, 1.5); err == nil {
+		t.Error("efficiency > 1 should error")
+	}
+}
+
+func TestBatteryForAutonomy(t *testing.T) {
+	// Size for 100 kW and 10 minutes; autonomy at that load must be
+	// exactly 10 minutes.
+	b, err := BatteryForAutonomy(100_000, 10*time.Minute, 0.92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.Autonomy(100_000)
+	if d := got - 10*time.Minute; d < -time.Second || d > time.Second {
+		t.Errorf("autonomy = %v, want 10m", got)
+	}
+	// Lighter load → longer autonomy.
+	if b.Autonomy(50_000) <= got {
+		t.Error("autonomy not inversely related to load")
+	}
+	if !b.RideThrough(100_000, 9*time.Minute) {
+		t.Error("should ride through a 9-minute outage")
+	}
+	if b.RideThrough(100_000, 11*time.Minute) {
+		t.Error("should not ride through an 11-minute outage")
+	}
+	if _, err := BatteryForAutonomy(0, time.Minute, 0.9); err == nil {
+		t.Error("zero load should error")
+	}
+	if _, err := BatteryForAutonomy(100, 0, 0.9); err == nil {
+		t.Error("zero autonomy should error")
+	}
+}
+
+func TestDischargeAndDepletion(t *testing.T) {
+	b, err := BatteryForAutonomy(10_000, 10*time.Minute, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, ok := b.Discharge(10_000, 4*time.Minute)
+	if !ok || covered != 4*time.Minute {
+		t.Fatalf("partial discharge: covered %v ok=%v", covered, ok)
+	}
+	if math.Abs(b.ChargeFraction()-0.6) > 1e-9 {
+		t.Errorf("charge fraction = %v, want 0.6", b.ChargeFraction())
+	}
+	// Ask for more than remains: covers only the remaining 6 minutes.
+	covered, ok = b.Discharge(10_000, 10*time.Minute)
+	if ok {
+		t.Error("over-long discharge reported ok")
+	}
+	if d := covered - 6*time.Minute; d < -time.Second || d > time.Second {
+		t.Errorf("covered %v, want ~6m", covered)
+	}
+	if b.ChargeFraction() != 0 {
+		t.Errorf("charge after depletion = %v", b.ChargeFraction())
+	}
+	if b.Depletions() != 1 || b.Cycles() != 2 {
+		t.Errorf("cycles=%d depletions=%d", b.Cycles(), b.Depletions())
+	}
+	// Degenerate inputs are no-ops.
+	if cov, ok := b.Discharge(0, time.Minute); !ok || cov != time.Minute {
+		t.Error("zero-load discharge should be free")
+	}
+}
+
+func TestRechargeRateLimitAndLosses(t *testing.T) {
+	b, err := NewBattery(1_000_000, 10_000, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Discharge(100_000, 8*time.Second) // drain 1e6 J at eff 0.8
+	if b.ChargeFraction() != 0 {
+		t.Fatalf("charge = %v, want 0", b.ChargeFraction())
+	}
+	// One minute at 10 kW puts back 600 kJ; grid draw includes losses.
+	gridW := b.Recharge(time.Minute)
+	if math.Abs(b.ChargeFraction()-0.6) > 1e-9 {
+		t.Errorf("charge fraction = %v, want 0.6", b.ChargeFraction())
+	}
+	if math.Abs(gridW-12_500) > 1e-6 {
+		t.Errorf("grid draw = %v W, want 12500 (10 kW / 0.8)", gridW)
+	}
+	// Top up the rest; near-full charging draws less than the rate cap
+	// allows.
+	b.Recharge(time.Minute)
+	if got := b.Recharge(time.Minute); got >= 12_500 {
+		t.Errorf("final top-up drew %v W, want below the cap", got)
+	}
+	if b.ChargeFraction() != 1 {
+		t.Errorf("charge = %v, want full", b.ChargeFraction())
+	}
+	if b.Recharge(time.Minute) != 0 {
+		t.Error("recharging a full battery should draw nothing")
+	}
+}
+
+func TestOutageScenario(t *testing.T) {
+	// §2.1 scenario: 200 kW critical load, 10-minute battery, generators
+	// take 45 s to start — the battery must bridge the gap with margin.
+	const loadW = 200_000
+	b, err := BatteryForAutonomy(loadW, 10*time.Minute, 0.92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const genStart = 45 * time.Second
+	covered, ok := b.Discharge(loadW, genStart)
+	if !ok || covered != genStart {
+		t.Fatalf("battery failed a 45s bridge: %v %v", covered, ok)
+	}
+	// Remaining autonomy still exceeds a second generator attempt.
+	if b.Autonomy(loadW) < 8*time.Minute {
+		t.Errorf("post-bridge autonomy %v too low", b.Autonomy(loadW))
+	}
+	// After grid return, recharging adds load the feed must carry.
+	if gridW := b.Recharge(10 * time.Minute); gridW <= 0 {
+		t.Error("recharge drew no grid power")
+	}
+}

@@ -1,0 +1,132 @@
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SimulateAvailability validates the analytic tier model by failure
+// injection: every component fails and repairs as an alternating renewal
+// process (exponential times with its MTBF/MTTR), and the facility is up
+// when the same structure function used by Tier2Design.Availability holds
+// — (utility OR enough generators) AND enough UPS modules AND every
+// series component. It returns the empirically observed availability over
+// the simulated horizon.
+func SimulateAvailability(d Tier2Design, horizon time.Duration, rng *sim.RNG) (float64, error) {
+	if horizon <= 0 {
+		return 0, fmt.Errorf("power: horizon %v must be positive", horizon)
+	}
+	type unit struct {
+		mtbf, mttr float64 // seconds
+		up         bool
+	}
+	mk := func(c Component) (*unit, error) {
+		if c.MTBF <= 0 {
+			return nil, fmt.Errorf("power: component %q MTBF must be positive", c.Name)
+		}
+		if c.MTTR < 0 {
+			return nil, fmt.Errorf("power: component %q MTTR must be non-negative", c.Name)
+		}
+		return &unit{mtbf: c.MTBF.Seconds(), mttr: c.MTTR.Seconds(), up: true}, nil
+	}
+
+	var units []*unit
+	add := func(c Component, n int) ([]*unit, error) {
+		group := make([]*unit, 0, n)
+		for i := 0; i < n; i++ {
+			u, err := mk(c)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+			group = append(group, u)
+		}
+		return group, nil
+	}
+
+	utility, err := add(d.Utility, 1)
+	if err != nil {
+		return 0, err
+	}
+	gens, err := add(d.GenUnit, d.GenHave)
+	if err != nil {
+		return 0, err
+	}
+	upses, err := add(d.UPSUnit, d.UPSHave)
+	if err != nil {
+		return 0, err
+	}
+	var series []*unit
+	for _, c := range append(append([]Component{}, d.Path...), d.Mechanical...) {
+		g, err := add(c, 1)
+		if err != nil {
+			return 0, err
+		}
+		series = append(series, g[0])
+	}
+	if d.GenNeed <= 0 || d.GenNeed > d.GenHave || d.UPSNeed <= 0 || d.UPSNeed > d.UPSHave {
+		return 0, fmt.Errorf("power: invalid redundancy needs")
+	}
+
+	countUp := func(g []*unit) int {
+		n := 0
+		for _, u := range g {
+			if u.up {
+				n++
+			}
+		}
+		return n
+	}
+	systemUp := func() bool {
+		source := utility[0].up || countUp(gens) >= d.GenNeed
+		if !source {
+			return false
+		}
+		if countUp(upses) < d.UPSNeed {
+			return false
+		}
+		for _, u := range series {
+			if !u.up {
+				return false
+			}
+		}
+		return true
+	}
+
+	e := sim.NewEngine(rng.Int63())
+	var upSeconds float64
+	last := time.Duration(0)
+	wasUp := systemUp()
+	account := func(now time.Duration) {
+		if wasUp {
+			upSeconds += (now - last).Seconds()
+		}
+		last = now
+		wasUp = systemUp()
+	}
+	var schedule func(u *unit)
+	schedule = func(u *unit) {
+		var wait float64
+		if u.up {
+			wait = rng.Exp(1 / u.mtbf)
+		} else {
+			wait = rng.Exp(1 / u.mttr)
+		}
+		e.ScheduleAfter(time.Duration(wait*float64(time.Second)), func(eng *sim.Engine) {
+			account(eng.Now())
+			u.up = !u.up
+			wasUp = systemUp()
+			schedule(u)
+		})
+	}
+	for _, u := range units {
+		schedule(u)
+	}
+	if err := e.Run(horizon); err != nil {
+		return 0, err
+	}
+	account(horizon)
+	return upSeconds / horizon.Seconds(), nil
+}

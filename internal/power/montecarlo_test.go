@@ -1,0 +1,71 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSimulateAvailabilityMatchesAnalytic(t *testing.T) {
+	d := DefaultTier2Design()
+	analytic, err := d.Availability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 simulated years of failure injection.
+	const years = 200
+	sim200, err := SimulateAvailability(d, years*365*24*time.Hour, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unavailability is the sensitive quantity (~0.24 %); demand
+	// agreement within 25 % relative.
+	ua, us := 1-analytic, 1-sim200
+	if math.Abs(us-ua)/ua > 0.25 {
+		t.Errorf("simulated unavailability %.5f vs analytic %.5f (>25%% apart)", us, ua)
+	}
+	// And the simulated system is classified the same tier.
+	if ClassifyTier(sim200) != ClassifyTier(analytic) {
+		t.Errorf("tier mismatch: simulated %v vs analytic %v",
+			ClassifyTier(sim200), ClassifyTier(analytic))
+	}
+}
+
+func TestSimulateAvailabilityRedundancyHelps(t *testing.T) {
+	// Removing the spare generator must hurt empirically too.
+	const years = 100
+	withSpare := DefaultTier2Design()
+	noSpare := DefaultTier2Design()
+	noSpare.GenHave = 1
+
+	a, err := SimulateAvailability(withSpare, years*365*24*time.Hour, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateAvailability(noSpare, years*365*24*time.Hour, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b >= a {
+		t.Errorf("dropping the spare generator did not reduce availability: %.5f vs %.5f", b, a)
+	}
+}
+
+func TestSimulateAvailabilityValidation(t *testing.T) {
+	d := DefaultTier2Design()
+	if _, err := SimulateAvailability(d, 0, sim.NewRNG(1)); err == nil {
+		t.Error("zero horizon should error")
+	}
+	bad := DefaultTier2Design()
+	bad.Utility.MTBF = 0
+	if _, err := SimulateAvailability(bad, time.Hour, sim.NewRNG(1)); err == nil {
+		t.Error("invalid component should error")
+	}
+	bad = DefaultTier2Design()
+	bad.GenNeed = 5
+	if _, err := SimulateAvailability(bad, time.Hour, sim.NewRNG(1)); err == nil {
+		t.Error("invalid redundancy should error")
+	}
+}

@@ -1,0 +1,278 @@
+// Package sensornet simulates the wireless-sensor-network instrumentation
+// of §4.5 (after Project Genome [30]): battery-powered nodes sampling
+// zone conditions, a multi-hop collection tree with per-hop loss and
+// latency, and thermal-map reconstruction — "the ground truth data are
+// more accurate than the simulation, and gathering those bridges the gaps
+// between servers and CRAC systems."
+package sensornet
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// NodeConfig describes one sensor node.
+type NodeConfig struct {
+	// Zone is the thermal zone the node instruments.
+	Zone int
+	// Parent is the index of the next hop toward the base station, or
+	// -1 when the node transmits directly to the base.
+	Parent int
+	// NoiseSD is the sensor's measurement noise (°C).
+	NoiseSD float64
+	// BatteryJ is the starting energy budget.
+	BatteryJ float64
+}
+
+// NetworkConfig describes the collection network.
+type NetworkConfig struct {
+	Nodes []NodeConfig
+	// LossPerHop is the probability a message is lost at each hop.
+	LossPerHop float64
+	// HopLatency is the per-hop forwarding delay.
+	HopLatency time.Duration
+	// SampleCostJ and ForwardCostJ drain batteries per operation.
+	SampleCostJ, ForwardCostJ float64
+}
+
+// DefaultNetworkConfig instruments each of n zones with one node chained
+// in a line toward the base station (node 0 transmits directly).
+func DefaultNetworkConfig(zones int) NetworkConfig {
+	cfg := NetworkConfig{
+		LossPerHop:   0.05,
+		HopLatency:   40 * time.Millisecond,
+		SampleCostJ:  0.001,
+		ForwardCostJ: 0.002,
+	}
+	for z := 0; z < zones; z++ {
+		cfg.Nodes = append(cfg.Nodes, NodeConfig{
+			Zone:     z,
+			Parent:   z - 1, // line topology; node 0 has parent -1 (base)
+			NoiseSD:  0.3,
+			BatteryJ: 10_000,
+		})
+	}
+	return cfg
+}
+
+// Validate checks the topology (parents must form a forest toward -1).
+func (c NetworkConfig) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("sensornet: need at least one node")
+	}
+	if c.LossPerHop < 0 || c.LossPerHop >= 1 {
+		return fmt.Errorf("sensornet: loss per hop %v out of [0,1)", c.LossPerHop)
+	}
+	if c.HopLatency < 0 {
+		return fmt.Errorf("sensornet: negative hop latency")
+	}
+	if c.SampleCostJ < 0 || c.ForwardCostJ < 0 {
+		return fmt.Errorf("sensornet: negative energy costs")
+	}
+	for i, n := range c.Nodes {
+		if n.Parent >= len(c.Nodes) || n.Parent < -1 {
+			return fmt.Errorf("sensornet: node %d parent %d out of range", i, n.Parent)
+		}
+		if n.Parent == i {
+			return fmt.Errorf("sensornet: node %d is its own parent", i)
+		}
+		if n.NoiseSD < 0 {
+			return fmt.Errorf("sensornet: node %d negative noise", i)
+		}
+		if n.BatteryJ <= 0 {
+			return fmt.Errorf("sensornet: node %d needs positive battery", i)
+		}
+	}
+	// Cycle check: walk each node to the base within len(Nodes) hops.
+	for i := range c.Nodes {
+		cur, hops := i, 0
+		for cur != -1 {
+			cur = c.Nodes[cur].Parent
+			hops++
+			if hops > len(c.Nodes) {
+				return fmt.Errorf("sensornet: cycle involving node %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Reading is one delivered sensor measurement.
+type Reading struct {
+	// Node and Zone identify the origin.
+	Node, Zone int
+	// Value is the measured (noisy) temperature.
+	Value float64
+	// Latency is the multi-hop delivery delay.
+	Latency time.Duration
+	// Hops is the path length to the base.
+	Hops int
+}
+
+// Network is the runtime sensor network.
+type Network struct {
+	cfg       NetworkConfig
+	rng       *sim.RNG
+	batteries []float64
+	delivered int64
+	lost      int64
+}
+
+// NewNetwork builds a network with the given deterministic source.
+func NewNetwork(cfg NetworkConfig, rng *sim.RNG) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	batteries := make([]float64, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		batteries[i] = n.BatteryJ
+	}
+	return &Network{cfg: cfg, rng: rng, batteries: batteries}, nil
+}
+
+// Alive reports whether node i still has battery.
+func (n *Network) Alive(i int) bool { return n.batteries[i] > 0 }
+
+// AliveCount reports the number of live nodes.
+func (n *Network) AliveCount() int {
+	count := 0
+	for i := range n.batteries {
+		if n.Alive(i) {
+			count++
+		}
+	}
+	return count
+}
+
+// DeliveryStats reports delivered and lost message counts.
+func (n *Network) DeliveryStats() (delivered, lost int64) { return n.delivered, n.lost }
+
+// Collect runs one sensing round: every live node samples the ground
+// truth for its zone (via the supplied function) and the message is
+// forwarded up the tree, draining batteries and possibly being lost.
+func (n *Network) Collect(truth func(zone int) float64) []Reading {
+	var out []Reading
+	for i, node := range n.cfg.Nodes {
+		if !n.Alive(i) {
+			continue
+		}
+		n.batteries[i] -= n.cfg.SampleCostJ
+		value := truth(node.Zone) + n.rng.Normal(0, node.NoiseSD)
+
+		// Walk to the base, draining forwarders and rolling loss dice.
+		hops := 1
+		cur := node.Parent
+		lost := n.rng.Bernoulli(n.cfg.LossPerHop)
+		for cur != -1 && !lost {
+			if !n.Alive(cur) {
+				lost = true // dead relay partitions the subtree
+				break
+			}
+			n.batteries[cur] -= n.cfg.ForwardCostJ
+			lost = n.rng.Bernoulli(n.cfg.LossPerHop)
+			cur = n.cfg.Nodes[cur].Parent
+			hops++
+		}
+		if lost {
+			n.lost++
+			continue
+		}
+		n.delivered++
+		out = append(out, Reading{
+			Node:    i,
+			Zone:    node.Zone,
+			Value:   value,
+			Latency: time.Duration(hops) * n.cfg.HopLatency,
+			Hops:    hops,
+		})
+	}
+	return out
+}
+
+// ReconstructMap builds a per-zone temperature estimate from readings:
+// zones with readings average them; zones without are filled by linear
+// interpolation between the nearest instrumented zones (ends extend).
+func ReconstructMap(readings []Reading, zones int) ([]float64, error) {
+	if zones <= 0 {
+		return nil, fmt.Errorf("sensornet: zones %d must be positive", zones)
+	}
+	sums := make([]float64, zones)
+	counts := make([]int, zones)
+	for _, r := range readings {
+		if r.Zone < 0 || r.Zone >= zones {
+			return nil, fmt.Errorf("sensornet: reading zone %d out of range", r.Zone)
+		}
+		sums[r.Zone] += r.Value
+		counts[r.Zone]++
+	}
+	known := make(map[int]float64, zones)
+	for z := 0; z < zones; z++ {
+		if counts[z] > 0 {
+			known[z] = sums[z] / float64(counts[z])
+		}
+	}
+	return InterpolateSparse(known, zones)
+}
+
+// InterpolateSparse fills a per-zone map from sparse known values by
+// linear interpolation over the zone index (the coarse baseline a
+// facility without fine-grained sensing falls back to).
+func InterpolateSparse(known map[int]float64, zones int) ([]float64, error) {
+	if zones <= 0 {
+		return nil, fmt.Errorf("sensornet: zones %d must be positive", zones)
+	}
+	if len(known) == 0 {
+		return nil, fmt.Errorf("sensornet: no known zones to interpolate from")
+	}
+	out := make([]float64, zones)
+	for z := 0; z < zones; z++ {
+		if v, ok := known[z]; ok {
+			out[z] = v
+			continue
+		}
+		// Nearest known below and above.
+		lo, hi := -1, -1
+		for k := z - 1; k >= 0; k-- {
+			if _, ok := known[k]; ok {
+				lo = k
+				break
+			}
+		}
+		for k := z + 1; k < zones; k++ {
+			if _, ok := known[k]; ok {
+				hi = k
+				break
+			}
+		}
+		switch {
+		case lo >= 0 && hi >= 0:
+			frac := float64(z-lo) / float64(hi-lo)
+			out[z] = known[lo]*(1-frac) + known[hi]*frac
+		case lo >= 0:
+			out[z] = known[lo]
+		default:
+			out[z] = known[hi]
+		}
+	}
+	return out, nil
+}
+
+// RMSE computes the root-mean-square error between an estimate and the
+// ground truth.
+func RMSE(estimate, truth []float64) (float64, error) {
+	if len(estimate) != len(truth) {
+		return 0, fmt.Errorf("sensornet: length mismatch %d != %d", len(estimate), len(truth))
+	}
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("sensornet: empty inputs")
+	}
+	var ss float64
+	for i := range truth {
+		d := estimate[i] - truth[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(truth))), nil
+}

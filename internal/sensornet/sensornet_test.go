@@ -1,0 +1,240 @@
+package sensornet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func truthFunc(zones int) func(int) float64 {
+	return func(z int) float64 {
+		// A spatial temperature gradient with a hot spot at the middle.
+		mid := float64(zones-1) / 2
+		return 20 + 6*math.Exp(-math.Pow(float64(z)-mid, 2)/4)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	base := DefaultNetworkConfig(4)
+	tests := []struct {
+		name   string
+		mutate func(*NetworkConfig)
+	}{
+		{"no nodes", func(c *NetworkConfig) { c.Nodes = nil }},
+		{"loss 1", func(c *NetworkConfig) { c.LossPerHop = 1 }},
+		{"negative loss", func(c *NetworkConfig) { c.LossPerHop = -0.1 }},
+		{"negative latency", func(c *NetworkConfig) { c.HopLatency = -time.Second }},
+		{"negative cost", func(c *NetworkConfig) { c.SampleCostJ = -1 }},
+		{"parent out of range", func(c *NetworkConfig) { c.Nodes[0].Parent = 99 }},
+		{"self parent", func(c *NetworkConfig) { c.Nodes[1].Parent = 1 }},
+		{"cycle", func(c *NetworkConfig) {
+			c.Nodes[1].Parent = 2
+			c.Nodes[2].Parent = 1
+		}},
+		{"zero battery", func(c *NetworkConfig) { c.Nodes[0].BatteryJ = 0 }},
+		{"negative noise", func(c *NetworkConfig) { c.Nodes[0].NoiseSD = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultNetworkConfig(4)
+			tt.mutate(&cfg)
+			if _, err := NewNetwork(cfg, sim.NewRNG(1)); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if _, err := NewNetwork(base, sim.NewRNG(1)); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestCollectDeliversMostReadings(t *testing.T) {
+	cfg := DefaultNetworkConfig(8)
+	n, err := NewNetwork(cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := truthFunc(8)
+	var total, rounds int
+	for r := 0; r < 50; r++ {
+		rs := n.Collect(truth)
+		total += len(rs)
+		rounds++
+		for _, reading := range rs {
+			if reading.Hops < 1 {
+				t.Fatalf("reading with %d hops", reading.Hops)
+			}
+			if reading.Latency != time.Duration(reading.Hops)*cfg.HopLatency {
+				t.Fatalf("latency %v inconsistent with %d hops", reading.Latency, reading.Hops)
+			}
+			if math.Abs(reading.Value-truth(reading.Zone)) > 2.0 {
+				t.Fatalf("reading %v too far from truth %v", reading.Value, truth(reading.Zone))
+			}
+		}
+	}
+	delivered, lost := n.DeliveryStats()
+	if delivered == 0 || lost == 0 {
+		t.Errorf("delivered=%d lost=%d: expect both with 5%% per-hop loss on a line", delivered, lost)
+	}
+	// With a line topology the far nodes traverse many hops; still most
+	// messages should arrive.
+	rate := float64(delivered) / float64(delivered+lost)
+	if rate < 0.5 || rate > 0.99 {
+		t.Errorf("delivery rate = %v, want realistic lossy-but-working", rate)
+	}
+	_ = total
+}
+
+func TestBatteryDrainKillsNodes(t *testing.T) {
+	cfg := DefaultNetworkConfig(4)
+	for i := range cfg.Nodes {
+		cfg.Nodes[i].BatteryJ = 0.01 // a handful of operations
+	}
+	n, err := NewNetwork(cfg, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := truthFunc(4)
+	if n.AliveCount() != 4 {
+		t.Fatalf("AliveCount = %d, want 4", n.AliveCount())
+	}
+	for r := 0; r < 100; r++ {
+		n.Collect(truth)
+	}
+	if n.AliveCount() != 0 {
+		t.Errorf("nodes alive after battery exhaustion: %d", n.AliveCount())
+	}
+	// Dead network produces nothing.
+	if rs := n.Collect(truth); len(rs) != 0 {
+		t.Errorf("dead network delivered %d readings", len(rs))
+	}
+}
+
+func TestDeadRelayPartitionsSubtree(t *testing.T) {
+	// Node 0 is the relay for everyone in the line topology; when it
+	// dies, downstream nodes cannot deliver (they still sample).
+	cfg := DefaultNetworkConfig(3)
+	cfg.LossPerHop = 0
+	n, err := NewNetwork(cfg, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.batteries[0] = 0
+	rs := n.Collect(truthFunc(3))
+	for _, r := range rs {
+		if r.Node != 0 && r.Hops > 1 {
+			t.Errorf("reading from node %d delivered through dead relay", r.Node)
+		}
+	}
+	if len(rs) != 0 {
+		t.Errorf("readings = %d, want 0 (node 0 dead, others relay through it)", len(rs))
+	}
+}
+
+func TestReconstructionBeatsSparseInterpolation(t *testing.T) {
+	// The paper's point: fine-grained sensing beats coarse estimates.
+	const zones = 16
+	truth := truthFunc(zones)
+	truthMap := make([]float64, zones)
+	for z := range truthMap {
+		truthMap[z] = truth(z)
+	}
+
+	cfg := DefaultNetworkConfig(zones)
+	cfg.LossPerHop = 0.02
+	n, err := NewNetwork(cfg, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average several rounds to tame sensor noise.
+	var all []Reading
+	for r := 0; r < 10; r++ {
+		all = append(all, n.Collect(truth)...)
+	}
+	dense, err := ReconstructMap(all, zones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseErr, err := RMSE(dense, truthMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sparse baseline: only the two end zones are known (e.g. CRAC
+	// return sensors), the rest interpolated.
+	sparse, err := InterpolateSparse(map[int]float64{0: truth(0), zones - 1: truth(zones - 1)}, zones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseErr, err := RMSE(sparse, truthMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if denseErr >= sparseErr/2 {
+		t.Errorf("dense sensing RMSE %v not well below sparse %v", denseErr, sparseErr)
+	}
+}
+
+func TestReconstructMapValidation(t *testing.T) {
+	if _, err := ReconstructMap(nil, 0); err == nil {
+		t.Error("zero zones should error")
+	}
+	if _, err := ReconstructMap([]Reading{{Zone: 99, Value: 1}}, 4); err == nil {
+		t.Error("out-of-range zone should error")
+	}
+	// No readings at all: interpolation has nothing to work from.
+	if _, err := ReconstructMap(nil, 4); err == nil {
+		t.Error("no readings should error")
+	}
+}
+
+func TestInterpolateSparse(t *testing.T) {
+	out, err := InterpolateSparse(map[int]float64{0: 10, 4: 20}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 12.5, 15, 17.5, 20}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("interpolated[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	// Ends extend from the single nearest known zone.
+	out, err = InterpolateSparse(map[int]float64{2: 7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 7 {
+			t.Errorf("single-source interpolation[%d] = %v, want 7", i, v)
+		}
+	}
+	if _, err := InterpolateSparse(nil, 5); err == nil {
+		t.Error("empty known map should error")
+	}
+	if _, err := InterpolateSparse(map[int]float64{0: 1}, 0); err == nil {
+		t.Error("zero zones should error")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Errorf("identical RMSE = %v, %v", got, err)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v, want sqrt(12.5)", got)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("empty inputs should error")
+	}
+}

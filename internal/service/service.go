@@ -1,0 +1,258 @@
+// Package service models the application side of the paper's elasticity
+// story: multi-tier Internet services with SLAs, load-balancing policies
+// over heterogeneous server pools, tier-by-tier scaling as user demand
+// rises and falls, and graceful degradation at resource limits (§3:
+// applications "can take advantage of server-level parallelism to scale
+// out", and "their performances can degrade gracefully when reaching
+// resource limitations").
+package service
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// SLA is a response-time service-level agreement (§3.2 lists SLAs among
+// the inputs to macro-resource management).
+type SLA struct {
+	// Target is the response-time bound.
+	Target time.Duration
+	// Percentile is the fraction of requests that must meet Target
+	// (informational at the fluid level; the mean must meet Target
+	// scaled by a percentile allowance).
+	Percentile float64
+}
+
+// Validate checks the SLA.
+func (s SLA) Validate() error {
+	if s.Target <= 0 {
+		return fmt.Errorf("service: SLA target %v must be positive", s.Target)
+	}
+	if s.Percentile <= 0 || s.Percentile > 1 {
+		return fmt.Errorf("service: SLA percentile %v out of (0,1]", s.Percentile)
+	}
+	return nil
+}
+
+// Policy selects how a tier's load is dispatched over its servers.
+type Policy int
+
+// Dispatch policies.
+const (
+	// PolicySpread fills all servers proportionally (least-loaded
+	// balancing in steady state): best for latency, worst for
+	// consolidation.
+	PolicySpread Policy = iota + 1
+	// PolicyPack fills servers one at a time to a target utilization,
+	// leaving the rest idle for the on/off policy to reclaim.
+	PolicyPack
+)
+
+// String renders the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicySpread:
+		return "spread"
+	case PolicyPack:
+		return "pack"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// TierConfig describes one tier of a service.
+type TierConfig struct {
+	// Name identifies the tier (web, application, storage…).
+	Name string
+	// Fanout is the number of tier operations generated per user
+	// request (§3: "each user request may hit hundreds to thousands of
+	// servers"; fanout compounds demand down the stack).
+	Fanout float64
+	// OpCapacityPerServer is the operations/second one tier server
+	// sustains at utilization 1.
+	OpCapacityPerServer float64
+	// Queue converts tier utilization into tier response time.
+	Queue workload.QueueModel
+	// MinServers keeps a floor under elastic scaling.
+	MinServers int
+	// PackTarget is the fill level used by PolicyPack.
+	PackTarget float64
+}
+
+// Validate checks the tier.
+func (t TierConfig) Validate() error {
+	if t.Fanout <= 0 {
+		return fmt.Errorf("service: tier %q fanout %v must be positive", t.Name, t.Fanout)
+	}
+	if t.OpCapacityPerServer <= 0 {
+		return fmt.Errorf("service: tier %q capacity %v must be positive", t.Name, t.OpCapacityPerServer)
+	}
+	if t.MinServers < 1 {
+		return fmt.Errorf("service: tier %q min servers %d must be >= 1", t.Name, t.MinServers)
+	}
+	if t.PackTarget <= 0 || t.PackTarget > 1 {
+		return fmt.Errorf("service: tier %q pack target %v out of (0,1]", t.Name, t.PackTarget)
+	}
+	return t.Queue.Validate()
+}
+
+// Config describes a complete multi-tier service.
+type Config struct {
+	Name  string
+	SLA   SLA
+	Tiers []TierConfig
+}
+
+// Validate checks the whole service definition.
+func (c Config) Validate() error {
+	if len(c.Tiers) == 0 {
+		return fmt.Errorf("service: %q needs at least one tier", c.Name)
+	}
+	if err := c.SLA.Validate(); err != nil {
+		return err
+	}
+	for _, t := range c.Tiers {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DefaultThreeTier is a canonical web/app/storage stack whose storage
+// fanout dominates (each user request touches many storage shards).
+func DefaultThreeTier(name string) Config {
+	web := workload.QueueModel{ServiceTime: 5 * time.Millisecond, MaxResponse: 2 * time.Second}
+	app := workload.QueueModel{ServiceTime: 15 * time.Millisecond, MaxResponse: 4 * time.Second}
+	sto := workload.QueueModel{ServiceTime: 8 * time.Millisecond, MaxResponse: 4 * time.Second}
+	return Config{
+		Name: name,
+		SLA:  SLA{Target: 300 * time.Millisecond, Percentile: 0.95},
+		Tiers: []TierConfig{
+			{Name: "web", Fanout: 1, OpCapacityPerServer: 800, Queue: web, MinServers: 2, PackTarget: 0.7},
+			{Name: "app", Fanout: 3, OpCapacityPerServer: 500, Queue: app, MinServers: 2, PackTarget: 0.7},
+			{Name: "storage", Fanout: 20, OpCapacityPerServer: 2000, Queue: sto, MinServers: 3, PackTarget: 0.7},
+		},
+	}
+}
+
+// TierReport is the evaluated state of one tier.
+type TierReport struct {
+	Name string
+	// OfferedOps is the tier demand in operations/second.
+	OfferedOps float64
+	// Utilizations is the per-server assigned utilization.
+	Utilizations []float64
+	// MeanUtilization averages over servers that received load.
+	MeanUtilization float64
+	// Response is the tier's mean response time at its hottest server
+	// (the slowest shard gates a fanned-out request).
+	Response time.Duration
+	// DroppedOps is tier load beyond capacity.
+	DroppedOps float64
+}
+
+// Report is the evaluated state of a service at one demand level.
+type Report struct {
+	Service string
+	// DemandRPS is the user-request rate evaluated.
+	DemandRPS float64
+	// Tiers holds per-tier detail.
+	Tiers []TierReport
+	// Response is the end-to-end mean response (tiers in series).
+	Response time.Duration
+	// DropFraction is the worst tier drop ratio — the graceful
+	// degradation measure.
+	DropFraction float64
+	// SLAViolated reports Response above the SLA target.
+	SLAViolated bool
+}
+
+// Evaluate computes tier loads, responses, and SLA state for a user
+// demand of rps, given per-tier server capacity lists (operations/second
+// available on each server of that tier; zero entries are powered-off
+// machines).
+func Evaluate(cfg Config, rps float64, tierCapacities [][]float64, policy Policy) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	if rps < 0 {
+		return Report{}, fmt.Errorf("service: negative demand %v", rps)
+	}
+	if len(tierCapacities) != len(cfg.Tiers) {
+		return Report{}, fmt.Errorf("service: %d capacity lists for %d tiers", len(tierCapacities), len(cfg.Tiers))
+	}
+	rep := Report{Service: cfg.Name, DemandRPS: rps}
+	var total time.Duration
+	for i, tier := range cfg.Tiers {
+		offered := rps * tier.Fanout
+		var d workload.Dispatch
+		switch policy {
+		case PolicySpread:
+			d = workload.SpreadLoad(offered, tierCapacities[i])
+		case PolicyPack:
+			var err error
+			d, err = workload.PackLoad(offered, tierCapacities[i], tier.PackTarget)
+			if err != nil {
+				return Report{}, err
+			}
+		default:
+			return Report{}, fmt.Errorf("service: unknown policy %v", policy)
+		}
+		tr := TierReport{
+			Name:         tier.Name,
+			OfferedOps:   offered,
+			Utilizations: d.Utilizations,
+			DroppedOps:   d.Dropped,
+		}
+		var maxU, sumU float64
+		var loaded int
+		for _, u := range d.Utilizations {
+			if u > 0 {
+				sumU += u
+				loaded++
+			}
+			maxU = math.Max(maxU, u)
+		}
+		if loaded > 0 {
+			tr.MeanUtilization = sumU / float64(loaded)
+		}
+		tr.Response = tier.Queue.Response(maxU)
+		total += tr.Response
+		if offered > 0 {
+			rep.DropFraction = math.Max(rep.DropFraction, d.Dropped/offered)
+		}
+		rep.Tiers = append(rep.Tiers, tr)
+	}
+	rep.Response = total
+	rep.SLAViolated = total > cfg.SLA.Target
+	return rep, nil
+}
+
+// ServersFor returns the number of servers each tier needs to keep its
+// utilization at or below targetU for a user demand of rps, honouring
+// tier minimums — the tier-by-tier scaling rule (§3.2: "How do different
+// tiers scale when user demands increase or decrease?").
+func ServersFor(cfg Config, rps, targetU float64) ([]int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if targetU <= 0 || targetU > 1 {
+		return nil, fmt.Errorf("service: target utilization %v out of (0,1]", targetU)
+	}
+	if rps < 0 {
+		return nil, fmt.Errorf("service: negative demand %v", rps)
+	}
+	out := make([]int, 0, len(cfg.Tiers))
+	for _, tier := range cfg.Tiers {
+		need := int(math.Ceil(rps * tier.Fanout / (tier.OpCapacityPerServer * targetU)))
+		if need < tier.MinServers {
+			need = tier.MinServers
+		}
+		out = append(out, need)
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func capacities(n int, each float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = each
+	}
+	return out
+}
+
+func tierCaps(cfg Config, counts []int) [][]float64 {
+	out := make([][]float64, len(cfg.Tiers))
+	for i, tier := range cfg.Tiers {
+		out[i] = capacities(counts[i], tier.OpCapacityPerServer)
+	}
+	return out
+}
+
+func TestSLAValidation(t *testing.T) {
+	if err := (SLA{Target: 0, Percentile: 0.95}).Validate(); err == nil {
+		t.Error("zero target should error")
+	}
+	if err := (SLA{Target: time.Second, Percentile: 0}).Validate(); err == nil {
+		t.Error("zero percentile should error")
+	}
+	if err := (SLA{Target: time.Second, Percentile: 1.5}).Validate(); err == nil {
+		t.Error("percentile > 1 should error")
+	}
+	if err := (SLA{Target: time.Second, Percentile: 0.95}).Validate(); err != nil {
+		t.Errorf("valid SLA rejected: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultThreeTier("svc")
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := cfg
+	bad.Tiers = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no tiers should error")
+	}
+	bad = DefaultThreeTier("svc")
+	bad.Tiers[0].Fanout = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero fanout should error")
+	}
+	bad = DefaultThreeTier("svc")
+	bad.Tiers[0].OpCapacityPerServer = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero capacity should error")
+	}
+	bad = DefaultThreeTier("svc")
+	bad.Tiers[0].MinServers = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero min servers should error")
+	}
+	bad = DefaultThreeTier("svc")
+	bad.Tiers[0].PackTarget = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero pack target should error")
+	}
+	bad = DefaultThreeTier("svc")
+	bad.Tiers[0].Queue = workload.QueueModel{}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid queue model should error")
+	}
+}
+
+func TestEvaluateHealthyService(t *testing.T) {
+	cfg := DefaultThreeTier("svc")
+	counts, err := ServersFor(cfg, 1000, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(cfg, 1000, tierCaps(cfg, counts), PolicySpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SLAViolated {
+		t.Errorf("SLA violated at provisioned load: response %v", rep.Response)
+	}
+	if rep.DropFraction != 0 {
+		t.Errorf("drops at provisioned load: %v", rep.DropFraction)
+	}
+	if len(rep.Tiers) != 3 {
+		t.Fatalf("tier reports = %d, want 3", len(rep.Tiers))
+	}
+	// Storage fanout dominates offered ops.
+	if rep.Tiers[2].OfferedOps <= rep.Tiers[0].OfferedOps {
+		t.Error("storage tier should see more ops than web tier")
+	}
+	// Utilization near the 0.6 target on every tier.
+	for _, tr := range rep.Tiers {
+		if tr.MeanUtilization > 0.65 {
+			t.Errorf("tier %s utilization %v above provision target", tr.Name, tr.MeanUtilization)
+		}
+	}
+	// End-to-end response is the series sum of tiers.
+	var sum time.Duration
+	for _, tr := range rep.Tiers {
+		sum += tr.Response
+	}
+	if rep.Response != sum {
+		t.Errorf("response %v != tier sum %v", rep.Response, sum)
+	}
+}
+
+func TestEvaluateOverloadDegradesGracefully(t *testing.T) {
+	cfg := DefaultThreeTier("svc")
+	counts, err := ServersFor(cfg, 100, 0.6) // provisioned for 100 rps
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(cfg, 5000, tierCaps(cfg, counts), PolicySpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SLAViolated {
+		t.Error("50x overload should violate the SLA")
+	}
+	if rep.DropFraction <= 0 || rep.DropFraction >= 1 {
+		t.Errorf("drop fraction = %v, want in (0,1): shed excess, keep serving", rep.DropFraction)
+	}
+}
+
+func TestEvaluatePackVsSpread(t *testing.T) {
+	cfg := DefaultThreeTier("svc")
+	counts := []int{10, 10, 10}
+	caps := tierCaps(cfg, counts)
+	spread, err := Evaluate(cfg, 200, caps, PolicySpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack, err := Evaluate(cfg, 200, caps, PolicyPack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packing concentrates load: some servers idle (reclaimable), and
+	// the hottest server is hotter than under spreading.
+	idle := 0
+	for _, u := range pack.Tiers[0].Utilizations {
+		if u == 0 {
+			idle++
+		}
+	}
+	if idle == 0 {
+		t.Error("packing left no server idle at light load")
+	}
+	for _, u := range spread.Tiers[0].Utilizations {
+		if u == 0 {
+			t.Error("spreading left a server idle")
+		}
+	}
+	if pack.Response <= spread.Response {
+		t.Errorf("pack response %v should exceed spread response %v (hotter servers)",
+			pack.Response, spread.Response)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	cfg := DefaultThreeTier("svc")
+	caps := tierCaps(cfg, []int{2, 2, 3})
+	if _, err := Evaluate(cfg, -1, caps, PolicySpread); err == nil {
+		t.Error("negative demand should error")
+	}
+	if _, err := Evaluate(cfg, 100, caps[:2], PolicySpread); err == nil {
+		t.Error("capacity list count mismatch should error")
+	}
+	if _, err := Evaluate(cfg, 100, caps, Policy(99)); err == nil {
+		t.Error("unknown policy should error")
+	}
+	bad := cfg
+	bad.Tiers = nil
+	if _, err := Evaluate(bad, 100, nil, PolicySpread); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestServersForScalesWithDemand(t *testing.T) {
+	cfg := DefaultThreeTier("svc")
+	low, err := ServersFor(cfg, 100, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := ServersFor(cfg, 10_000, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range low {
+		if high[i] < low[i] {
+			t.Errorf("tier %d shrank with demand: %d -> %d", i, low[i], high[i])
+		}
+	}
+	// Tier minimums hold at zero demand.
+	zero, err := ServersFor(cfg, 0, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tier := range cfg.Tiers {
+		if zero[i] != tier.MinServers {
+			t.Errorf("tier %s at zero demand = %d, want min %d", tier.Name, zero[i], tier.MinServers)
+		}
+	}
+	// Capacity actually suffices: evaluating at the sized fleet meets
+	// the target utilization.
+	counts, err := ServersFor(cfg, 2000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(cfg, 2000, tierCaps(cfg, counts), PolicySpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range rep.Tiers {
+		if tr.MeanUtilization > 0.5+1e-9 {
+			t.Errorf("tier %s utilization %v above sizing target 0.5", tr.Name, tr.MeanUtilization)
+		}
+	}
+}
+
+func TestServersForValidation(t *testing.T) {
+	cfg := DefaultThreeTier("svc")
+	if _, err := ServersFor(cfg, 100, 0); err == nil {
+		t.Error("zero target should error")
+	}
+	if _, err := ServersFor(cfg, 100, 1.5); err == nil {
+		t.Error("target > 1 should error")
+	}
+	if _, err := ServersFor(cfg, -1, 0.5); err == nil {
+		t.Error("negative demand should error")
+	}
+}
+
+func TestTierFanoutCompounds(t *testing.T) {
+	cfg := DefaultThreeTier("svc")
+	counts, err := ServersFor(cfg, 1000, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Storage needs far more capacity than web at the same demand.
+	webOps := 1000 * cfg.Tiers[0].Fanout
+	stoOps := 1000 * cfg.Tiers[2].Fanout
+	if stoOps/webOps < 10 {
+		t.Skip("fanout config changed")
+	}
+	webCap := float64(counts[0]) * cfg.Tiers[0].OpCapacityPerServer
+	stoCap := float64(counts[2]) * cfg.Tiers[2].OpCapacityPerServer
+	if stoCap <= webCap {
+		t.Errorf("storage capacity %v not above web %v despite 20x fanout", stoCap, webCap)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicySpread.String() != "spread" || PolicyPack.String() != "pack" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() != "policy(9)" {
+		t.Error("unknown policy name wrong")
+	}
+}

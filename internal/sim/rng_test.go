@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	g := NewRNG(7)
+	a := g.Fork("workload")
+	g2 := NewRNG(7)
+	b := g2.Fork("failures")
+	// Different labels from the same parent state should diverge.
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("forks with different labels coincide on %d/50 draws", same)
+	}
+	// Same label from same parent state must match (determinism).
+	c := NewRNG(7).Fork("workload")
+	d := NewRNG(7).Fork("workload")
+	for i := 0; i < 50; i++ {
+		if c.Float64() != d.Float64() {
+			t.Fatal("same-label forks differ")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		x := g.Uniform(5, 10)
+		if x < 5 || x >= 10 {
+			t.Fatalf("Uniform(5,10) = %v out of range", x)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(2)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += g.Exp(4) // mean 0.25
+	}
+	mean := sum / n
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("Exp(4) sample mean = %v, want ~0.25", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(3)
+	const n = 50000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		x := g.Normal(10, 2)
+		sum += x
+		ss += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(ss/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Errorf("Normal sd = %v, want ~2", sd)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	g := NewRNG(4)
+	for _, mean := range []float64{0.5, 3, 20, 200} { // spans both algorithms
+		const n = 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(g.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if g.Poisson(0) != 0 || g.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		x := g.Pareto(2, 1.5)
+		if x < 2 {
+			t.Fatalf("Pareto(2,1.5) = %v below scale", x)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	g := NewRNG(6)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) hit rate = %v", p)
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	g := NewRNG(7)
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	sum := 0
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 15 {
+		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}
+
+func TestIntnAndInt63(t *testing.T) {
+	g := NewRNG(8)
+	for i := 0; i < 100; i++ {
+		if v := g.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		if g.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	g := NewRNG(9)
+	const n = 50000
+	var sumLog float64
+	for i := 0; i < n; i++ {
+		x := g.LogNormal(1.0, 0.5)
+		if x <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", x)
+		}
+		sumLog += math.Log(x)
+	}
+	if got := sumLog / n; math.Abs(got-1.0) > 0.02 {
+		t.Errorf("mean of log = %v, want ~1.0", got)
+	}
+}

@@ -1,0 +1,49 @@
+package stats_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ExampleErlangC sizes a server pool with the classic queueing formula:
+// how many servers keep the probability of queueing under 10 % at 20
+// Erlangs of offered load?
+func ExampleErlangC() {
+	const offered = 20.0 // Erlangs
+	for c := 21; ; c++ {
+		p, err := stats.ErlangC(c, offered)
+		if err != nil {
+			panic(err)
+		}
+		if p < 0.10 {
+			fmt.Printf("%d servers: P(wait) = %.3f\n", c, p)
+			break
+		}
+	}
+	// Output:
+	// 27 servers: P(wait) = 0.096
+}
+
+// ExampleMMcWait converts the same sizing into a mean waiting time.
+func ExampleMMcWait() {
+	w, err := stats.MMcWait(27, 20, 1) // 27 servers, 20/s arrivals, 1/s service
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mean wait: %v\n", time.Duration(w*float64(time.Second)).Round(time.Millisecond))
+	// Output:
+	// mean wait: 14ms
+}
+
+// ExampleRunning shows streaming moments without storing samples.
+func ExampleRunning() {
+	var r stats.Running
+	for _, w := range []float64{180, 220, 300, 260} {
+		r.Add(w)
+	}
+	fmt.Printf("mean=%.0fW sd=%.1fW range=[%.0f, %.0f]\n", r.Mean(), r.StdDev(), r.Min(), r.Max())
+	// Output:
+	// mean=240W sd=51.6W range=[180, 300]
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi). Samples outside
+// the range are counted in dedicated under/overflow buckets so no
+// observation is silently dropped.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	counts    []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram builds a histogram with n equal buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs n > 0, got %d", n)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram needs lo < hi, got [%v, %v)", lo, hi)
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(n),
+		counts: make([]int64, n),
+	}, nil
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.counts) { // guard float rounding at the top edge
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Total reports the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bucket reports the count in bucket i and its [lo, hi) bounds.
+func (h *Histogram) Bucket(i int) (count int64, lo, hi float64) {
+	lo = h.lo + float64(i)*h.width
+	return h.counts[i], lo, lo + h.width
+}
+
+// Buckets reports the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// OutOfRange reports the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over int64) { return h.underflow, h.overflow }
+
+// Quantile estimates the q-quantile (q in [0,1]) assuming uniform density
+// within buckets. Underflow maps to lo and overflow to hi.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if h.total == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	target := q * float64(h.total)
+	cum := float64(h.underflow)
+	if target <= cum {
+		return h.lo, nil
+	}
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width, nil
+		}
+		cum = next
+	}
+	return h.hi, nil
+}
+
+// String renders a compact ASCII sparkline of the histogram for logs.
+func (h *Histogram) String() string {
+	var max int64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return "(empty histogram)"
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%g..%g) ", h.lo, h.hi)
+	for _, c := range h.counts {
+		idx := int(math.Round(float64(c) / float64(max) * float64(len(levels)-1)))
+		b.WriteRune(levels[idx])
+	}
+	fmt.Fprintf(&b, " n=%d", h.total)
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.5, 1, 5.5, 9.99, -1, 10, 15} {
+		h.Observe(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", h.Total())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("OutOfRange = %d/%d, want 1/2", under, over)
+	}
+	c, lo, hi := h.Bucket(0)
+	if c != 2 || lo != 0 || hi != 1 { // samples 0 and 0.5; 1.0 lands in bucket 1
+		t.Errorf("Bucket(0) = %d [%v,%v), want 2 [0,1)", c, lo, hi)
+	}
+	c1, _, _ := h.Bucket(1)
+	if c1 != 1 {
+		t.Errorf("Bucket(1) = %d, want 1", c1)
+	}
+	if h.Buckets() != 10 {
+		t.Errorf("Buckets = %d, want 10", h.Buckets())
+	}
+}
+
+func TestHistogramInvalidConstruction(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero buckets should error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("lo == hi should error")
+	}
+	if _, err := NewHistogram(10, 0, 3); err == nil {
+		t.Error("lo > hi should error")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	q, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 45 || q > 55 {
+		t.Errorf("median = %v, want ~50", q)
+	}
+	if _, err := h.Quantile(1.5); err == nil {
+		t.Error("out-of-range quantile should error")
+	}
+	empty, _ := NewHistogram(0, 1, 4)
+	if _, err := empty.Quantile(0.5); err == nil {
+		t.Error("empty quantile should error")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	check := func(samples []float64) bool {
+		h, err := NewHistogram(-100, 100, 50)
+		if err != nil {
+			return false
+		}
+		for _, s := range samples {
+			h.Observe(s)
+		}
+		if h.Total() == 0 {
+			return true
+		}
+		prev := -1e18
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v, err := h.Quantile(q)
+			if err != nil || v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramStringNonEmpty(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 8)
+	if got := h.String(); got != "(empty histogram)" {
+		t.Errorf("empty String = %q", got)
+	}
+	h.Observe(0.5)
+	if got := h.String(); got == "" || got == "(empty histogram)" {
+		t.Errorf("non-empty String = %q", got)
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DiurnalConfig parameterizes a generic diurnal demand profile used for
+// per-service utilization traces — in particular for studying which
+// applications are best co-located (paper §3.2, §5.2: "two processes, or
+// VMs, from different applications are unlikely to generate power spikes
+// at the same time").
+type DiurnalConfig struct {
+	// Duration is the span to generate.
+	Duration time.Duration
+	// Step is the sampling interval.
+	Step time.Duration
+	// Mean is the average demand level.
+	Mean float64
+	// Swing is the peak-to-mean diurnal excursion (0..1 relative).
+	Swing float64
+	// PeakHour is the local hour of maximum demand; two services with
+	// peak hours 12 apart are maximally anti-correlated.
+	PeakHour float64
+	// WeekendFactor scales weekend demand.
+	WeekendFactor float64
+	// BurstRate is the expected number of short demand bursts per day.
+	BurstRate float64
+	// BurstMagnitude is the relative height of a burst.
+	BurstMagnitude float64
+	// NoiseSD is relative AR(1) noise.
+	NoiseSD float64
+}
+
+// DefaultDiurnalConfig returns a mid-swing daytime-peaking profile.
+func DefaultDiurnalConfig() DiurnalConfig {
+	return DiurnalConfig{
+		Duration:       7 * 24 * time.Hour,
+		Step:           time.Minute,
+		Mean:           0.4,
+		Swing:          0.5,
+		PeakHour:       14,
+		WeekendFactor:  0.9,
+		BurstRate:      2,
+		BurstMagnitude: 0.5,
+		NoiseSD:        0.03,
+	}
+}
+
+// GenerateDiurnal synthesizes a utilization-style demand profile in
+// arbitrary units (typically fraction of capacity).
+func GenerateDiurnal(cfg DiurnalConfig, rng *sim.RNG) (*Series, error) {
+	switch {
+	case cfg.Duration <= 0 || cfg.Step <= 0:
+		return nil, fmt.Errorf("trace: diurnal duration/step must be positive")
+	case cfg.Mean < 0:
+		return nil, fmt.Errorf("trace: diurnal mean %v must be non-negative", cfg.Mean)
+	case cfg.Swing < 0 || cfg.Swing > 1:
+		return nil, fmt.Errorf("trace: diurnal swing %v out of [0,1]", cfg.Swing)
+	case cfg.WeekendFactor <= 0 || cfg.WeekendFactor > 1:
+		return nil, fmt.Errorf("trace: weekend factor %v out of (0,1]", cfg.WeekendFactor)
+	}
+	n := int(cfg.Duration / cfg.Step)
+	vals := make([]float64, n)
+
+	// Pre-draw burst instants.
+	days := cfg.Duration.Hours() / 24
+	nBursts := rng.Poisson(cfg.BurstRate * days)
+	bursts := make([]time.Duration, nBursts)
+	for i := range bursts {
+		bursts[i] = time.Duration(rng.Float64() * float64(cfg.Duration))
+	}
+	const burstTau = 10 * time.Minute
+
+	noise := newARNoise(0.9, cfg.NoiseSD)
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * cfg.Step
+		h := hourOfDay(t)
+		v := cfg.Mean * (1 + cfg.Swing*math.Cos(2*math.Pi*(h-cfg.PeakHour)/24))
+		if isWeekend(t) {
+			v *= cfg.WeekendFactor
+		}
+		for _, bt := range bursts {
+			if t >= bt {
+				age := (t - bt).Seconds()
+				v += cfg.Mean * cfg.BurstMagnitude * math.Exp(-age/burstTau.Seconds())
+			}
+		}
+		v *= noise.next(rng.Normal)
+		if v < 0 {
+			v = 0
+		}
+		vals[i] = v
+	}
+	return &Series{Step: cfg.Step, Values: vals}, nil
+}

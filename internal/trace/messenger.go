@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// MessengerConfig parameterizes the synthetic Windows-Live-Messenger-style
+// workload of the paper's Figure 3: total connected users and new-user
+// login rate over a week, with diurnal swing, weekday/weekend contrast,
+// and flash crowds.
+type MessengerConfig struct {
+	// Duration is the span to generate (the paper shows one week).
+	Duration time.Duration
+	// Step is the sampling interval.
+	Step time.Duration
+	// PeakLoginRate is the normalization of the login-rate series
+	// (users/second; the figure normalizes to 1400/s).
+	PeakLoginRate float64
+	// PeakConnections is the normalization of the connection-count
+	// series (the figure text normalizes to 1e6 users).
+	PeakConnections float64
+	// NightFraction is the fraction of the peak login rate that remains
+	// in the deepest night trough. The paper observes early-afternoon
+	// connection counts "almost twice as much as those after midnight";
+	// a trough of ~0.35 on login rate yields that 2:1 swing on
+	// connections after session smoothing.
+	NightFraction float64
+	// WeekendFactor scales demand on Saturday and Sunday (< 1; the
+	// paper observes weekday demand above weekend demand).
+	WeekendFactor float64
+	// PeakHour is the local hour of maximum demand (the paper's figure
+	// peaks in the early afternoon).
+	PeakHour float64
+	// SessionMean is the mean connection lifetime, which converts login
+	// rate into connection count (C' = λ − C/τ).
+	SessionMean time.Duration
+	// FlashCrowds is the expected number of login flash crowds per week
+	// ("a large number of users login in a short period of time").
+	FlashCrowds float64
+	// FlashMagnitude is the multiplicative login-rate spike height.
+	FlashMagnitude float64
+	// FlashDuration is the time constant of one flash crowd.
+	FlashDuration time.Duration
+	// NoiseSD is the relative standard deviation of multiplicative
+	// sampling noise (AR(1)-smoothed).
+	NoiseSD float64
+}
+
+// DefaultMessengerConfig returns the configuration calibrated to the
+// properties the paper states for Figure 3.
+func DefaultMessengerConfig() MessengerConfig {
+	return MessengerConfig{
+		Duration:        7 * 24 * time.Hour,
+		Step:            time.Minute,
+		PeakLoginRate:   1400,
+		PeakConnections: 1e6,
+		NightFraction:   0.35,
+		WeekendFactor:   0.82,
+		PeakHour:        14,
+		SessionMean:     90 * time.Minute,
+		FlashCrowds:     3,
+		FlashMagnitude:  3.5,
+		FlashDuration:   8 * time.Minute,
+		NoiseSD:         0.02,
+	}
+}
+
+// Messenger is the generated pair of series for Figure 3.
+type Messenger struct {
+	// Logins is the new-user login rate (users/second).
+	Logins *Series
+	// Connections is the total number of connected users.
+	Connections *Series
+	// FlashTimes records when flash crowds were injected.
+	FlashTimes []time.Duration
+}
+
+// GenerateMessenger synthesizes a Messenger workload from cfg using rng.
+func GenerateMessenger(cfg MessengerConfig, rng *sim.RNG) (*Messenger, error) {
+	if err := validateMessenger(cfg); err != nil {
+		return nil, err
+	}
+	n := int(cfg.Duration / cfg.Step)
+	logins := make([]float64, n)
+	conns := make([]float64, n)
+
+	// Draw flash-crowd instants uniformly over the horizon.
+	weeks := cfg.Duration.Hours() / (7 * 24)
+	nFlash := rng.Poisson(cfg.FlashCrowds * weeks)
+	flashTimes := make([]time.Duration, 0, nFlash)
+	for i := 0; i < nFlash; i++ {
+		flashTimes = append(flashTimes,
+			time.Duration(rng.Float64()*float64(cfg.Duration)))
+	}
+
+	noise := newARNoise(0.9, cfg.NoiseSD)
+	dt := cfg.Step.Seconds()
+	tau := cfg.SessionMean.Seconds()
+	// Start connections at the steady state implied by the initial rate
+	// so the first day is not a transient.
+	c := baseRate(cfg, 0) * tau
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * cfg.Step
+		lambda := baseRate(cfg, t)
+
+		// Flash crowds: sharp rise, exponential decay on login rate.
+		for _, ft := range flashTimes {
+			if t >= ft {
+				age := (t - ft).Seconds()
+				lambda *= 1 + (cfg.FlashMagnitude-1)*math.Exp(-age/cfg.FlashDuration.Seconds())
+			}
+		}
+
+		// AR(1) multiplicative noise keeps neighbouring samples coherent.
+		lambda *= noise.next(rng.Normal)
+
+		logins[i] = lambda
+		// Connection dynamics: arrivals minus departures.
+		c += (lambda - c/tau) * dt
+		if c < 0 {
+			c = 0
+		}
+		conns[i] = c
+	}
+
+	loginSeries := &Series{Step: cfg.Step, Values: logins}
+	connSeries := &Series{Step: cfg.Step, Values: conns}
+	loginSeries.Normalize(cfg.PeakLoginRate)
+	connSeries.Normalize(cfg.PeakConnections)
+	return &Messenger{
+		Logins:      loginSeries,
+		Connections: connSeries,
+		FlashTimes:  flashTimes,
+	}, nil
+}
+
+func validateMessenger(cfg MessengerConfig) error {
+	switch {
+	case cfg.Duration <= 0:
+		return fmt.Errorf("trace: messenger duration %v must be positive", cfg.Duration)
+	case cfg.Step <= 0:
+		return fmt.Errorf("trace: messenger step %v must be positive", cfg.Step)
+	case cfg.Step > cfg.Duration:
+		return fmt.Errorf("trace: step %v exceeds duration %v", cfg.Step, cfg.Duration)
+	case cfg.NightFraction <= 0 || cfg.NightFraction > 1:
+		return fmt.Errorf("trace: night fraction %v out of (0,1]", cfg.NightFraction)
+	case cfg.WeekendFactor <= 0 || cfg.WeekendFactor > 1:
+		return fmt.Errorf("trace: weekend factor %v out of (0,1]", cfg.WeekendFactor)
+	case cfg.SessionMean <= 0:
+		return fmt.Errorf("trace: session mean %v must be positive", cfg.SessionMean)
+	case cfg.FlashMagnitude < 1:
+		return fmt.Errorf("trace: flash magnitude %v must be >= 1", cfg.FlashMagnitude)
+	case cfg.FlashDuration <= 0:
+		return fmt.Errorf("trace: flash duration %v must be positive", cfg.FlashDuration)
+	case cfg.NoiseSD < 0:
+		return fmt.Errorf("trace: noise sd %v must be non-negative", cfg.NoiseSD)
+	}
+	return nil
+}
+
+// baseRate evaluates the deterministic diurnal+weekly login-rate shape at
+// t, in relative units with daytime peak 1.0 on weekdays.
+func baseRate(cfg MessengerConfig, t time.Duration) float64 {
+	h := hourOfDay(t)
+	// Raised cosine centred on the peak hour, compressed so the trough
+	// is wide (nights are uniformly quiet) — closer to observed load
+	// shapes than a pure sinusoid.
+	phase := 2 * math.Pi * (h - cfg.PeakHour) / 24
+	s := 0.5 * (1 + math.Cos(phase))
+	s = math.Pow(s, 1.4) // sharpen the peak, widen the trough
+	v := cfg.NightFraction + (1-cfg.NightFraction)*s
+	if isWeekend(t) {
+		v *= cfg.WeekendFactor
+	}
+	return v
+}

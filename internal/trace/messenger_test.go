@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// windowMean averages s over the daily window [h0, h1) hours on the given
+// days (0=Monday).
+func windowMean(s *Series, h0, h1 float64, days ...int) float64 {
+	daySet := make(map[int]bool, len(days))
+	for _, d := range days {
+		daySet[d] = true
+	}
+	var sum float64
+	var n int
+	for i := range s.Values {
+		t := time.Duration(i) * s.Step
+		h := hourOfDay(t)
+		if h >= h0 && h < h1 && daySet[dayOfWeek(t)] {
+			sum += s.Values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func TestMessengerFigure3Properties(t *testing.T) {
+	cfg := DefaultMessengerConfig()
+	m, err := GenerateMessenger(cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Normalizations match the figure's stated scales (within float
+	// rounding from the rescale).
+	if got := m.Connections.Max(); math.Abs(got-cfg.PeakConnections) > 1e-6*cfg.PeakConnections {
+		t.Errorf("peak connections = %v, want %v", got, cfg.PeakConnections)
+	}
+	if got := m.Logins.Max(); math.Abs(got-cfg.PeakLoginRate) > 1e-6*cfg.PeakLoginRate {
+		t.Errorf("peak login rate = %v, want %v", got, cfg.PeakLoginRate)
+	}
+
+	// "The number of users in the early afternoon is almost twice as
+	// much as those after midnight."
+	weekdays := []int{0, 1, 2, 3, 4}
+	afternoon := windowMean(m.Connections, 13, 16, weekdays...)
+	night := windowMean(m.Connections, 0, 4, weekdays...)
+	ratio := afternoon / night
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Errorf("afternoon/midnight connection ratio = %.2f, want ~2", ratio)
+	}
+
+	// "The total demand in weekdays are higher than that in weekends."
+	wkday := windowMean(m.Connections, 0, 24, 0, 1, 2, 3, 4)
+	wkend := windowMean(m.Connections, 0, 24, 5, 6)
+	if wkday <= wkend {
+		t.Errorf("weekday mean %v not above weekend mean %v", wkday, wkend)
+	}
+
+	// "Flash crowd effects, where a large number of users login in a
+	// short period of time": the login series must contain spikes well
+	// above the smooth diurnal ceiling.
+	if len(m.FlashTimes) == 0 {
+		t.Skip("no flash crowds drawn for this seed")
+	}
+	// At a flash instant the login rate should exceed twice the series
+	// median-scale level at that hour.
+	ft := m.FlashTimes[0]
+	spike := m.Logins.At(ft + time.Minute)
+	typical := windowMean(m.Logins, hourOfDay(ft), hourOfDay(ft)+1,
+		0, 1, 2, 3, 4, 5, 6)
+	if spike < 1.5*typical {
+		t.Errorf("flash crowd spike %v not well above typical %v", spike, typical)
+	}
+}
+
+func TestMessengerSeriesAreSmoothAndPositive(t *testing.T) {
+	m, err := GenerateMessenger(DefaultMessengerConfig(), sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.Connections.Values {
+		if v < 0 {
+			t.Fatalf("negative connections at sample %d: %v", i, v)
+		}
+	}
+	for i, v := range m.Logins.Values {
+		if v < 0 {
+			t.Fatalf("negative login rate at sample %d: %v", i, v)
+		}
+	}
+	// Connections integrate logins, so step-to-step relative change must
+	// stay small (sessions last ~90 min, step is 1 min).
+	for i := 1; i < m.Connections.Len(); i++ {
+		prev, cur := m.Connections.Values[i-1], m.Connections.Values[i]
+		if prev > 1000 {
+			rel := (cur - prev) / prev
+			if rel > 0.2 || rel < -0.2 {
+				t.Fatalf("connections jumped %.1f%% in one minute at sample %d", rel*100, i)
+			}
+		}
+	}
+}
+
+func TestMessengerDeterministic(t *testing.T) {
+	a, err := GenerateMessenger(DefaultMessengerConfig(), sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMessenger(DefaultMessengerConfig(), sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Logins.Values {
+		if a.Logins.Values[i] != b.Logins.Values[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestMessengerValidation(t *testing.T) {
+	base := DefaultMessengerConfig()
+	tests := []struct {
+		name   string
+		mutate func(*MessengerConfig)
+	}{
+		{"zero duration", func(c *MessengerConfig) { c.Duration = 0 }},
+		{"zero step", func(c *MessengerConfig) { c.Step = 0 }},
+		{"step exceeds duration", func(c *MessengerConfig) { c.Step = c.Duration * 2 }},
+		{"night fraction 0", func(c *MessengerConfig) { c.NightFraction = 0 }},
+		{"night fraction >1", func(c *MessengerConfig) { c.NightFraction = 1.5 }},
+		{"weekend factor 0", func(c *MessengerConfig) { c.WeekendFactor = 0 }},
+		{"session mean 0", func(c *MessengerConfig) { c.SessionMean = 0 }},
+		{"flash magnitude <1", func(c *MessengerConfig) { c.FlashMagnitude = 0.5 }},
+		{"flash duration 0", func(c *MessengerConfig) { c.FlashDuration = 0 }},
+		{"negative noise", func(c *MessengerConfig) { c.NoiseSD = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := GenerateMessenger(cfg, sim.NewRNG(1)); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}

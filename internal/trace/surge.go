@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SurgeConfig parameterizes an Animoto-style demand surge (paper §3,
+// quoting Armbrust et al. [5]): "growing from 50 servers to 3500 servers
+// in three days... After the peak subsided, traffic fell to a level that
+// was well below the peak."
+type SurgeConfig struct {
+	// Duration is the total span to generate.
+	Duration time.Duration
+	// Step is the sampling interval.
+	Step time.Duration
+	// Baseline is the pre-surge demand in server-equivalents.
+	Baseline float64
+	// Peak is the demand at the height of the surge.
+	Peak float64
+	// SurgeStart is when growth begins.
+	SurgeStart time.Duration
+	// RampDuration is how long the climb to the peak takes (3 days for
+	// the quoted Animoto event).
+	RampDuration time.Duration
+	// HoldDuration is how long demand stays at the peak.
+	HoldDuration time.Duration
+	// DecayTime is the exponential time constant of the fall-off.
+	DecayTime time.Duration
+	// Settle is the long-run post-surge demand ("well below the peak",
+	// but above the original baseline).
+	Settle float64
+	// NoiseSD is relative multiplicative noise.
+	NoiseSD float64
+}
+
+// DefaultSurgeConfig reproduces the quoted Animoto numbers: 50 → 3500
+// server-equivalents over three days, then decay to a level well below
+// the peak.
+func DefaultSurgeConfig() SurgeConfig {
+	return SurgeConfig{
+		Duration:     10 * 24 * time.Hour,
+		Step:         10 * time.Minute,
+		Baseline:     50,
+		Peak:         3500,
+		SurgeStart:   24 * time.Hour,
+		RampDuration: 3 * 24 * time.Hour,
+		HoldDuration: 12 * time.Hour,
+		DecayTime:    24 * time.Hour,
+		Settle:       400,
+		NoiseSD:      0.03,
+	}
+}
+
+// GenerateSurge synthesizes the demand series (in server-equivalents).
+func GenerateSurge(cfg SurgeConfig, rng *sim.RNG) (*Series, error) {
+	switch {
+	case cfg.Duration <= 0 || cfg.Step <= 0:
+		return nil, fmt.Errorf("trace: surge duration/step must be positive")
+	case cfg.Peak < cfg.Baseline:
+		return nil, fmt.Errorf("trace: surge peak %v below baseline %v", cfg.Peak, cfg.Baseline)
+	case cfg.RampDuration <= 0:
+		return nil, fmt.Errorf("trace: ramp duration must be positive")
+	case cfg.DecayTime <= 0:
+		return nil, fmt.Errorf("trace: decay time must be positive")
+	case cfg.Settle < 0:
+		return nil, fmt.Errorf("trace: settle level %v must be non-negative", cfg.Settle)
+	}
+	n := int(cfg.Duration / cfg.Step)
+	vals := make([]float64, n)
+	rampEnd := cfg.SurgeStart + cfg.RampDuration
+	holdEnd := rampEnd + cfg.HoldDuration
+	noise := newARNoise(0.9, cfg.NoiseSD)
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * cfg.Step
+		var v float64
+		switch {
+		case t < cfg.SurgeStart:
+			v = cfg.Baseline
+		case t < rampEnd:
+			// Exponential (viral) growth: demand multiplies at a
+			// constant rate until the peak, matching the "demand
+			// surge … via Facebook" dynamic.
+			frac := float64(t-cfg.SurgeStart) / float64(cfg.RampDuration)
+			v = cfg.Baseline * math.Pow(cfg.Peak/cfg.Baseline, frac)
+		case t < holdEnd:
+			v = cfg.Peak
+		default:
+			age := (t - holdEnd).Seconds()
+			v = cfg.Settle + (cfg.Peak-cfg.Settle)*math.Exp(-age/cfg.DecayTime.Seconds())
+		}
+		vals[i] = v * noise.next(rng.Normal)
+	}
+	return &Series{Step: cfg.Step, Values: vals}, nil
+}

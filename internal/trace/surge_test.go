@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSurgeReproducesAnimotoNumbers(t *testing.T) {
+	cfg := DefaultSurgeConfig()
+	s, err := GenerateSurge(cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the surge: around 50 server-equivalents.
+	pre := s.Window(0, cfg.SurgeStart).Mean()
+	if pre < 40 || pre > 60 {
+		t.Errorf("pre-surge demand = %v, want ~50", pre)
+	}
+	// At the end of the three-day ramp: around 3500.
+	peakAt := cfg.SurgeStart + cfg.RampDuration + cfg.HoldDuration/2
+	peak := s.At(peakAt)
+	if peak < 3000 || peak > 4000 {
+		t.Errorf("peak demand = %v, want ~3500", peak)
+	}
+	// The ramp takes three days: halfway through, demand is near the
+	// geometric mean (exponential growth), far below the peak.
+	mid := s.At(cfg.SurgeStart + cfg.RampDuration/2)
+	if mid > peak/2 {
+		t.Errorf("mid-ramp demand %v too high for exponential growth (peak %v)", mid, peak)
+	}
+	if mid < pre {
+		t.Errorf("mid-ramp demand %v below baseline", mid)
+	}
+	// "After the peak subsided, traffic fell to a level that was well
+	// below the peak."
+	tail := s.At(s.Duration() - time.Hour)
+	if tail > peak/4 {
+		t.Errorf("post-surge demand %v not well below peak %v", tail, peak)
+	}
+	if tail < cfg.Baseline {
+		t.Errorf("post-surge demand %v settled below original baseline", tail)
+	}
+}
+
+func TestSurgeMonotoneRamp(t *testing.T) {
+	cfg := DefaultSurgeConfig()
+	cfg.NoiseSD = 0 // deterministic shape
+	s, err := GenerateSurge(cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rampLo := int(cfg.SurgeStart / cfg.Step)
+	rampHi := int((cfg.SurgeStart + cfg.RampDuration) / cfg.Step)
+	for i := rampLo + 1; i < rampHi; i++ {
+		if s.Values[i] < s.Values[i-1] {
+			t.Fatalf("noise-free ramp not monotone at sample %d", i)
+		}
+	}
+}
+
+func TestSurgeValidation(t *testing.T) {
+	base := DefaultSurgeConfig()
+	tests := []struct {
+		name   string
+		mutate func(*SurgeConfig)
+	}{
+		{"zero duration", func(c *SurgeConfig) { c.Duration = 0 }},
+		{"zero step", func(c *SurgeConfig) { c.Step = 0 }},
+		{"peak below baseline", func(c *SurgeConfig) { c.Peak = c.Baseline / 2 }},
+		{"zero ramp", func(c *SurgeConfig) { c.RampDuration = 0 }},
+		{"zero decay", func(c *SurgeConfig) { c.DecayTime = 0 }},
+		{"negative settle", func(c *SurgeConfig) { c.Settle = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := GenerateSurge(cfg, sim.NewRNG(1)); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestWeatherProperties(t *testing.T) {
+	cfg := DefaultWeatherConfig()
+	w, err := GenerateWeather(cfg, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TempC.Len() != w.RH.Len() {
+		t.Fatal("temperature and humidity lengths differ")
+	}
+	// Annual mean near configured mean.
+	mean := w.TempC.Mean()
+	if mean < cfg.MeanTempC-3 || mean > cfg.MeanTempC+3 {
+		t.Errorf("annual mean temp = %v, want ~%v", mean, cfg.MeanTempC)
+	}
+	// Humidity stays within physical bounds.
+	for i, rh := range w.RH.Values {
+		if rh < 0 || rh > 1 {
+			t.Fatalf("RH out of [0,1] at sample %d: %v", i, rh)
+		}
+	}
+	// Summer (around day 182) warmer than winter (around day 0) for a
+	// northern-hemisphere phase.
+	winter := w.TempC.Window(0, 30*24*time.Hour).Mean()
+	summer := w.TempC.Window(170*24*time.Hour, 200*24*time.Hour).Mean()
+	if summer <= winter {
+		t.Errorf("summer %v not warmer than winter %v", summer, winter)
+	}
+	// Afternoons warmer than nights on average.
+	aft := windowMean(w.TempC, 13, 17, 0, 1, 2, 3, 4, 5, 6)
+	night := windowMean(w.TempC, 2, 6, 0, 1, 2, 3, 4, 5, 6)
+	if aft <= night {
+		t.Errorf("afternoon %v not warmer than night %v", aft, night)
+	}
+}
+
+func TestWeatherValidation(t *testing.T) {
+	cfg := DefaultWeatherConfig()
+	cfg.Duration = 0
+	if _, err := GenerateWeather(cfg, sim.NewRNG(1)); err == nil {
+		t.Error("zero duration should error")
+	}
+	cfg = DefaultWeatherConfig()
+	cfg.MeanRH = 1.5
+	if _, err := GenerateWeather(cfg, sim.NewRNG(1)); err == nil {
+		t.Error("invalid RH should error")
+	}
+}
+
+func TestDiurnalAntiCorrelation(t *testing.T) {
+	// Two services with peak hours 12 apart should be strongly
+	// anti-correlated — the premise of the paper's co-location argument.
+	a := DefaultDiurnalConfig()
+	a.BurstRate = 0
+	a.NoiseSD = 0
+	b := a
+	b.PeakHour = a.PeakHour + 12
+	sa, err := GenerateDiurnal(a, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := GenerateDiurnal(b, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var num, da, db float64
+	ma, mb := sa.Mean(), sb.Mean()
+	for i := range sa.Values {
+		xa, xb := sa.Values[i]-ma, sb.Values[i]-mb
+		num += xa * xb
+		da += xa * xa
+		db += xb * xb
+	}
+	corr := num / (sqrtOr1(da) * sqrtOr1(db))
+	if corr > -0.8 {
+		t.Errorf("opposite-phase correlation = %v, want strongly negative", corr)
+	}
+}
+
+func sqrtOr1(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	// local sqrt to avoid importing math for one call in tests
+	lo, hi := 0.0, x+1
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if mid*mid < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	base := DefaultDiurnalConfig()
+	tests := []struct {
+		name   string
+		mutate func(*DiurnalConfig)
+	}{
+		{"zero duration", func(c *DiurnalConfig) { c.Duration = 0 }},
+		{"negative mean", func(c *DiurnalConfig) { c.Mean = -1 }},
+		{"swing >1", func(c *DiurnalConfig) { c.Swing = 2 }},
+		{"weekend 0", func(c *DiurnalConfig) { c.WeekendFactor = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := GenerateDiurnal(cfg, sim.NewRNG(1)); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestDiurnalNonNegative(t *testing.T) {
+	cfg := DefaultDiurnalConfig()
+	cfg.NoiseSD = 0.2 // aggressive noise must still clamp at zero
+	s, err := GenerateDiurnal(cfg, sim.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Values {
+		if v < 0 {
+			t.Fatalf("negative demand at %d: %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// WeatherConfig parameterizes an outside-air trace for air-side economizer
+// studies (paper §2.2: "the temperature and humidity of outside air change
+// continuously, bringing additional challenges to cooling control").
+type WeatherConfig struct {
+	// Duration is the span to generate.
+	Duration time.Duration
+	// Step is the sampling interval.
+	Step time.Duration
+	// MeanTempC is the long-run mean outside temperature (°C).
+	MeanTempC float64
+	// DailyAmpC is the amplitude of the diurnal temperature swing.
+	DailyAmpC float64
+	// SeasonalAmpC is the amplitude of the annual swing (applied when
+	// Duration spans a large fraction of a year).
+	SeasonalAmpC float64
+	// WeatherSD is the day-to-day AR(1) weather-front variation (°C).
+	WeatherSD float64
+	// MeanRH is the mean relative humidity (fraction 0..1).
+	MeanRH float64
+	// RHSwing is the diurnal humidity swing (humidity is lowest when
+	// temperature peaks).
+	RHSwing float64
+}
+
+// DefaultWeatherConfig describes a temperate site (e.g. the US Pacific
+// Northwest, where economizers are most attractive).
+func DefaultWeatherConfig() WeatherConfig {
+	return WeatherConfig{
+		Duration:     365 * 24 * time.Hour,
+		Step:         time.Hour,
+		MeanTempC:    12,
+		DailyAmpC:    5,
+		SeasonalAmpC: 9,
+		WeatherSD:    3,
+		MeanRH:       0.60,
+		RHSwing:      0.15,
+	}
+}
+
+// Weather is an outside-air condition trace.
+type Weather struct {
+	// TempC is the dry-bulb temperature series (°C).
+	TempC *Series
+	// RH is the relative-humidity series (fraction 0..1).
+	RH *Series
+}
+
+// GenerateWeather synthesizes an outside-air trace.
+func GenerateWeather(cfg WeatherConfig, rng *sim.RNG) (*Weather, error) {
+	switch {
+	case cfg.Duration <= 0 || cfg.Step <= 0:
+		return nil, fmt.Errorf("trace: weather duration/step must be positive")
+	case cfg.MeanRH < 0 || cfg.MeanRH > 1:
+		return nil, fmt.Errorf("trace: mean RH %v out of [0,1]", cfg.MeanRH)
+	}
+	n := int(cfg.Duration / cfg.Step)
+	temps := make([]float64, n)
+	rhs := make([]float64, n)
+	front := 0.0 // slow AR(1) weather-front offset
+	yearHours := 365.0 * 24
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * cfg.Step
+		h := hourOfDay(t)
+		// Daily minimum near 5:00, maximum near 15:00.
+		daily := cfg.DailyAmpC * math.Sin(2*math.Pi*(h-9)/24)
+		seasonal := cfg.SeasonalAmpC * math.Sin(2*math.Pi*(t.Hours()/yearHours-0.25))
+		// Weather fronts evolve on a multi-day scale.
+		front = 0.995*front + rng.Normal(0, cfg.WeatherSD*0.07)
+		temp := cfg.MeanTempC + daily + seasonal + front
+		temps[i] = temp
+		// RH moves opposite to the diurnal temperature swing, clamped.
+		rh := cfg.MeanRH - cfg.RHSwing*math.Sin(2*math.Pi*(h-9)/24) + rng.Normal(0, 0.02)
+		if rh < 0.05 {
+			rh = 0.05
+		}
+		if rh > 0.99 {
+			rh = 0.99
+		}
+		rhs[i] = rh
+	}
+	return &Weather{
+		TempC: &Series{Step: cfg.Step, Values: temps},
+		RH:    &Series{Step: cfg.Step, Values: rhs},
+	}, nil
+}

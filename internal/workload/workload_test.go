@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueueModelResponse(t *testing.T) {
+	q := DefaultQueueModel()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Response(0); got != q.ServiceTime {
+		t.Errorf("idle response = %v, want service time %v", got, q.ServiceTime)
+	}
+	if got := q.Response(0.5); got != 2*q.ServiceTime {
+		t.Errorf("rho=0.5 response = %v, want %v", got, 2*q.ServiceTime)
+	}
+	if got := q.Response(1); got != q.MaxResponse {
+		t.Errorf("saturated response = %v, want cap %v", got, q.MaxResponse)
+	}
+	if got := q.Response(-1); got != q.ServiceTime {
+		t.Errorf("negative rho response = %v", got)
+	}
+	// Delay blows up near saturation (the mechanism behind the §5.1
+	// DVFS/on-off pathology).
+	if q.Response(0.99) <= q.Response(0.9) {
+		t.Error("response not increasing toward saturation")
+	}
+}
+
+func TestQueueModelValidation(t *testing.T) {
+	bad := QueueModel{ServiceTime: 0, MaxResponse: time.Second}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero service time should error")
+	}
+	bad = QueueModel{ServiceTime: time.Second, MaxResponse: time.Millisecond}
+	if err := bad.Validate(); err == nil {
+		t.Error("cap below service time should error")
+	}
+}
+
+func TestUtilizationForInvertsResponse(t *testing.T) {
+	q := DefaultQueueModel()
+	for _, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		target := q.Response(rho)
+		back := q.UtilizationFor(target)
+		// Response truncates to whole nanoseconds, so the round trip
+		// carries quantization error.
+		if math.Abs(back-rho) > 1e-6 {
+			t.Errorf("UtilizationFor(Response(%v)) = %v", rho, back)
+		}
+	}
+	if q.UtilizationFor(q.ServiceTime/2) != 0 {
+		t.Error("target below service time should give 0")
+	}
+	if q.UtilizationFor(q.MaxResponse*2) != 1 {
+		t.Error("target above cap should give 1")
+	}
+}
+
+func TestConnectionServiceServersNeeded(t *testing.T) {
+	c := DefaultConnectionService()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1M connections at 80k each → 13 servers by connections.
+	n := c.ServersNeeded(1e6, 0)
+	if n != 13 {
+		t.Errorf("servers for 1M connections = %d, want 13", n)
+	}
+	// 1400 logins/s at 60/s each → 24 servers by login rate: during
+	// flash crowds the login constraint binds, as [18] observes.
+	n = c.ServersNeeded(0, 1400)
+	if n != 24 {
+		t.Errorf("servers for 1400 logins/s = %d, want 24", n)
+	}
+	// The max of both constraints wins.
+	if got := c.ServersNeeded(1e6, 1400); got != 24 {
+		t.Errorf("combined = %d, want 24", got)
+	}
+	// Never below one server; negatives clamp.
+	if got := c.ServersNeeded(-5, -5); got != 1 {
+		t.Errorf("degenerate load = %d, want 1", got)
+	}
+}
+
+func TestConnectionServiceUtilization(t *testing.T) {
+	c := DefaultConnectionService()
+	u := c.Utilization(1e6, 100, 20)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %v out of (0,1]", u)
+	}
+	// More servers → lower per-server utilization.
+	if c.Utilization(1e6, 100, 40) >= u {
+		t.Error("doubling servers did not reduce utilization")
+	}
+	if c.Utilization(1e6, 100, 0) != 1 {
+		t.Error("zero servers should saturate")
+	}
+	if c.Utilization(1e18, 1e18, 3) != 1 {
+		t.Error("overload should clamp at 1")
+	}
+}
+
+func TestConnectionServiceValidation(t *testing.T) {
+	bad := DefaultConnectionService()
+	bad.ConnsPerServer = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero connection capacity should error")
+	}
+	bad = DefaultConnectionService()
+	bad.LoginCPUCost = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost should error")
+	}
+}
+
+func TestSpreadLoad(t *testing.T) {
+	caps := []float64{100, 100, 200}
+	d := SpreadLoad(200, caps)
+	// Proportional fill: everyone at 50 %.
+	for i, u := range d.Utilizations {
+		if math.Abs(u-0.5) > 1e-12 {
+			t.Errorf("server %d utilization = %v, want 0.5", i, u)
+		}
+	}
+	if d.Dropped != 0 {
+		t.Errorf("dropped = %v, want 0", d.Dropped)
+	}
+	// Overload saturates everyone and drops the excess.
+	d = SpreadLoad(500, caps)
+	for i, u := range d.Utilizations {
+		if u != 1 {
+			t.Errorf("server %d utilization = %v, want 1", i, u)
+		}
+	}
+	if math.Abs(d.Dropped-100) > 1e-12 {
+		t.Errorf("dropped = %v, want 100", d.Dropped)
+	}
+	// No capacity at all: everything drops.
+	d = SpreadLoad(50, []float64{0, 0})
+	if d.Dropped != 50 {
+		t.Errorf("dropped = %v, want 50", d.Dropped)
+	}
+	// Zero offered load.
+	d = SpreadLoad(0, caps)
+	for _, u := range d.Utilizations {
+		if u != 0 {
+			t.Error("idle spread should assign nothing")
+		}
+	}
+}
+
+func TestSpreadLoadConservesWork(t *testing.T) {
+	check := func(rawOffered float64, rawCaps []float64) bool {
+		offered := math.Abs(math.Mod(rawOffered, 1e6))
+		caps := make([]float64, 0, len(rawCaps))
+		for _, c := range rawCaps {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				continue
+			}
+			caps = append(caps, math.Abs(math.Mod(c, 1e4)))
+		}
+		d := SpreadLoad(offered, caps)
+		var placed float64
+		for i, u := range d.Utilizations {
+			if u < 0 || u > 1 {
+				return false
+			}
+			placed += u * caps[i]
+		}
+		return math.Abs(placed+d.Dropped-offered) < 1e-6*(1+offered)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackLoad(t *testing.T) {
+	caps := []float64{100, 100, 100}
+	d, err := PackLoad(120, caps, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First server filled to target, second takes the remainder, third
+	// stays empty — consolidation leaves idle servers to turn off.
+	if math.Abs(d.Utilizations[0]-0.8) > 1e-12 {
+		t.Errorf("server 0 = %v, want 0.8", d.Utilizations[0])
+	}
+	if math.Abs(d.Utilizations[1]-0.4) > 1e-12 {
+		t.Errorf("server 1 = %v, want 0.4", d.Utilizations[1])
+	}
+	if d.Utilizations[2] != 0 {
+		t.Errorf("server 2 = %v, want 0", d.Utilizations[2])
+	}
+	if d.Dropped != 0 {
+		t.Errorf("dropped = %v", d.Dropped)
+	}
+}
+
+func TestPackLoadTopsUpBeyondTarget(t *testing.T) {
+	caps := []float64{100, 100}
+	d, err := PackLoad(190, caps, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var placed float64
+	for i, u := range d.Utilizations {
+		placed += u * caps[i]
+		if u > 1 {
+			t.Errorf("server %d over-filled: %v", i, u)
+		}
+	}
+	if math.Abs(placed-190) > 1e-9 {
+		t.Errorf("placed = %v, want 190", placed)
+	}
+	// True overload drops.
+	d, err = PackLoad(250, caps, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Dropped-50) > 1e-9 {
+		t.Errorf("dropped = %v, want 50", d.Dropped)
+	}
+}
+
+func TestPackLoadValidation(t *testing.T) {
+	if _, err := PackLoad(10, []float64{100}, 0); err == nil {
+		t.Error("zero target should error")
+	}
+	if _, err := PackLoad(10, []float64{100}, 1.5); err == nil {
+		t.Error("target > 1 should error")
+	}
+}
