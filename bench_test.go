@@ -7,10 +7,12 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/harness"
 	"repro/internal/telemetry"
 )
 
@@ -124,6 +126,51 @@ func BenchmarkAblateHysteresis(b *testing.B) { runExp(b, "ablate-hysteresis") }
 // BenchmarkAblateDC compares 400V DC distribution against AC double
 // conversion (design-choice ablation, after [11]).
 func BenchmarkAblateDC(b *testing.B) { runExp(b, "ablate-dc") }
+
+// suiteIDs is the full experiment suite minus telemetry: that experiment
+// is itself a wall-clock microbenchmark (ingest points/min), so timing it
+// inside another benchmark — or racing it against sibling jobs — measures
+// interference, not the harness.
+func suiteIDs() []string {
+	ids := make([]string, 0, len(exp.IDs()))
+	for _, id := range exp.IDs() {
+		if id != "telemetry" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// benchSuite runs the suite once per iteration through the harness at the
+// given worker count, with two seed replications so the parallel case has
+// enough independent jobs to overlap the long-pole experiments.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	ids := suiteIDs()
+	for i := 0; i < b.N; i++ {
+		sums, err := harness.Run(harness.Config{
+			IDs:      ids,
+			BaseSeed: int64(i) + 1,
+			Reps:     2,
+			Parallel: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sums) != len(ids) {
+			b.Fatalf("got %d summaries, want %d", len(sums), len(ids))
+		}
+	}
+}
+
+// BenchmarkSuiteSerial is the pre-harness baseline: every (experiment ×
+// seed) job on a single worker.
+func BenchmarkSuiteSerial(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteParallel fans the same jobs over GOMAXPROCS workers; the
+// ratio to BenchmarkSuiteSerial is the harness speedup on this machine.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkExpTelemetryScale measures the §5.3 ingestion path directly:
 // points/second into the multi-resolution store at the paper's sampling

@@ -1,23 +1,29 @@
 // Command experiments regenerates every figure and quantitative claim of
 // the paper (the index in DESIGN.md and EXPERIMENTS.md). Run all of them
-// or one by id:
+// or one by id, optionally fanned out over a worker pool and replicated
+// across seeds:
 //
-//	experiments            # run everything
-//	experiments -exp fig3  # one experiment
-//	experiments -list      # list ids
-//	experiments -seed 7    # change the deterministic seed
+//	experiments                      # run everything
+//	experiments -exp fig3            # one experiment
+//	experiments -list                # list ids
+//	experiments -seed 7              # change the deterministic seed
+//	experiments -reps 8 -parallel 8  # 8 seed replications on 8 workers
+//	experiments -json run.json       # machine-readable metrics sidecar
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/harness"
 )
 
 // csver is implemented by results that carry plottable series.
@@ -35,9 +41,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	id := fs.String("exp", "", "experiment id to run (default: all)")
-	seed := fs.Int64("seed", 1, "deterministic seed")
+	seed := fs.Int64("seed", 1, "deterministic base seed")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	csvDir := fs.String("csv", "", "directory to write figure series CSVs into")
+	reps := fs.Int("reps", 1, "seed replications per experiment (seeds seed..seed+reps-1)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size")
+	jsonOut := fs.String("json", "", "write per-job metrics and aggregates to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,29 +54,89 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, strings.Join(exp.IDs(), "\n"))
 		return nil
 	}
-	ids := exp.IDs()
-	if *id != "" {
-		ids = []string{*id}
+	if *reps < 1 {
+		return fmt.Errorf("reps %d must be at least 1", *reps)
 	}
-	for _, eid := range ids {
-		start := time.Now()
-		res, err := exp.Run(eid, *seed)
-		if err != nil {
-			return fmt.Errorf("%s: %w", eid, err)
+	if *parallel < 1 {
+		return fmt.Errorf("parallel %d must be at least 1", *parallel)
+	}
+	cfg := harness.Config{
+		BaseSeed: *seed,
+		Reps:     *reps,
+		Parallel: *parallel,
+	}
+	if *id != "" {
+		cfg.IDs = []string{*id}
+	}
+	start := time.Now()
+	summaries, runErr := harness.Run(cfg)
+	// Emit everything that succeeded before reporting the error: a
+	// failing experiment should not hide 25 good ones.
+	if *reps == 1 {
+		// Single-seed mode keeps the historical per-experiment output.
+		for _, s := range summaries {
+			job := s.Reps[0]
+			if job.Err != "" {
+				continue
+			}
+			fmt.Fprint(out, job.Report)
+			if err := writeCSVs(out, *csvDir, job.Result); err != nil {
+				return err
+			}
+			wall := time.Duration(job.WallSeconds * float64(time.Second))
+			fmt.Fprintf(out, "(%s completed in %v)\n\n", s.ID, wall.Round(time.Millisecond))
 		}
-		fmt.Fprint(out, res.Report())
+	} else {
+		// Replicated mode reports the aggregate table; per-seed detail
+		// goes to the JSON sidecar.
+		fmt.Fprint(out, harness.Table(summaries))
+		fmt.Fprintf(out, "(%d experiments × %d seeds on %d workers in %v)\n",
+			len(summaries), *reps, *parallel, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {
-			if c, ok := res.(csver); ok {
-				for name, csv := range c.CSVs() {
-					p := filepath.Join(*csvDir, name+".csv")
-					if err := os.WriteFile(p, []byte(csv), 0o644); err != nil {
-						return fmt.Errorf("%s: %w", eid, err)
+			for _, s := range summaries {
+				if s.Reps[0].Err == "" {
+					if err := writeCSVs(out, *csvDir, s.Reps[0].Result); err != nil {
+						return err
 					}
-					fmt.Fprintf(out, "wrote %s\n", p)
 				}
 			}
 		}
-		fmt.Fprintf(out, "(%s completed in %v)\n\n", eid, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut != "" {
+		doc := struct {
+			BaseSeed  int64             `json:"base_seed"`
+			Reps      int               `json:"reps"`
+			Parallel  int               `json:"parallel"`
+			Summaries []harness.Summary `json:"summaries"`
+		}{*seed, *reps, *parallel, summaries}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *jsonOut)
+	}
+	return runErr
+}
+
+// writeCSVs exports a result's plottable series into dir, if requested
+// and the result has any.
+func writeCSVs(out io.Writer, dir string, res exp.Result) error {
+	if dir == "" {
+		return nil
+	}
+	c, ok := res.(csver)
+	if !ok {
+		return nil
+	}
+	for name, csv := range c.CSVs() {
+		p := filepath.Join(dir, name+".csv")
+		if err := os.WriteFile(p, []byte(csv), 0o644); err != nil {
+			return fmt.Errorf("%s: %w", res.ID(), err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", p)
 	}
 	return nil
 }

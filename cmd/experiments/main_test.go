@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -62,5 +63,84 @@ func TestCSVExport(t *testing.T) {
 		if len(data) < 1000 {
 			t.Errorf("%s suspiciously small: %d bytes", name, len(data))
 		}
+	}
+}
+
+func TestReplicatedRunEmitsTableAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "run.json")
+	var b strings.Builder
+	if err := run([]string{"-exp", "dvfs", "-reps", "3", "-parallel", "2", "-json", jsonPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"experiment", "events/s", "dvfs", "1 experiments × 3 seeds on 2 workers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replicated output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "completed in") {
+		t.Error("replicated mode should print the aggregate table, not per-run footers")
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		BaseSeed  int64 `json:"base_seed"`
+		Reps      int   `json:"reps"`
+		Summaries []struct {
+			ID   string `json:"id"`
+			Reps []struct {
+				Seed   int64  `json:"seed"`
+				Events uint64 `json:"events"`
+			} `json:"reps"`
+		} `json:"summaries"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("sidecar is not valid JSON: %v", err)
+	}
+	if doc.Reps != 3 || len(doc.Summaries) != 1 || len(doc.Summaries[0].Reps) != 3 {
+		t.Fatalf("unexpected sidecar shape: %+v", doc)
+	}
+	for r, rep := range doc.Summaries[0].Reps {
+		if rep.Seed != int64(1+r) {
+			t.Errorf("rep %d seed = %d, want %d", r, rep.Seed, 1+r)
+		}
+		if rep.Events == 0 {
+			t.Errorf("rep %d recorded no kernel events", r)
+		}
+	}
+}
+
+func TestSingleSeedOutputUnchangedByWorkerCount(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := run([]string{"-exp", "capping", "-parallel", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "capping", "-parallel", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	strip := func(s string) string {
+		// The wall-clock footer legitimately differs; everything else
+		// must be byte-identical.
+		i := strings.LastIndex(s, "(capping completed in")
+		if i < 0 {
+			t.Fatalf("missing footer:\n%s", s)
+		}
+		return s[:i]
+	}
+	if strip(serial.String()) != strip(parallel.String()) {
+		t.Error("report differs between -parallel 1 and -parallel 8")
+	}
+}
+
+func TestBadRepsAndParallel(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-reps", "0"}, &b); err == nil {
+		t.Error("reps 0 should error")
+	}
+	if err := run([]string{"-parallel", "0"}, &b); err == nil {
+		t.Error("parallel 0 should error")
 	}
 }

@@ -107,9 +107,14 @@ func (f *Fleet) SetTarget(target int) {
 		return
 	}
 	if on > target {
+		// Shed booting servers as well as active ones: OnCount counts
+		// both, so skipping Booting here would leave the committed count
+		// above target until the boot completes — or forever, if the
+		// target stays low (the server boots to Active with no further
+		// SetTarget call to reconcile it).
 		for i := len(f.servers) - 1; i >= 0 && on > target; i-- {
 			s := f.servers[i]
-			if s.State() == server.StateActive {
+			if st := s.State(); st == server.StateActive || st == server.StateBooting {
 				s.PowerOff(f.engine)
 				f.switchOffs++
 				on--

@@ -177,3 +177,70 @@ func TestFleetSetPStateAll(t *testing.T) {
 		t.Error("invalid p-state should error")
 	}
 }
+
+// TestSetTargetDropDuringBootWindow is the regression for the elastic
+// scale-down bug: lowering the target while servers are still booting
+// must shed the booting servers too, not wait for a boot that may never
+// be reconciled.
+func TestSetTargetDropDuringBootWindow(t *testing.T) {
+	e := sim.NewEngine(1)
+	f, err := NewFleet(e, testServerConfig(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTarget(8)
+	if f.OnCount() != 8 {
+		t.Fatalf("OnCount = %d, want 8", f.OnCount())
+	}
+	// Mid-boot, demand collapses.
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.SetTarget(3)
+	if f.OnCount() != 3 {
+		t.Fatalf("OnCount immediately after drop = %d, want 3", f.OnCount())
+	}
+	// After every transition settles, exactly 3 are active — the five
+	// aborted boots must not resurrect as Active servers.
+	if err := e.Run(e.Now() + testServerConfig().BootDelay + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync(e.Now())
+	if f.ActiveCount() != 3 {
+		t.Errorf("ActiveCount after settling = %d, want 3", f.ActiveCount())
+	}
+	if f.OnCount() != 3 {
+		t.Errorf("OnCount after settling = %d, want 3", f.OnCount())
+	}
+	_, offs := f.Switches()
+	if offs != 5 {
+		t.Errorf("switch-offs = %d, want 5", offs)
+	}
+}
+
+// TestSetTargetDropToZeroDuringBoot covers the full-collapse case: every
+// committed server is still booting when the target reaches zero.
+func TestSetTargetDropToZeroDuringBoot(t *testing.T) {
+	e := sim.NewEngine(1)
+	f, err := NewFleet(e, testServerConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetTarget(4)
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.SetTarget(0)
+	if f.OnCount() != 0 {
+		t.Fatalf("OnCount = %d, want 0", f.OnCount())
+	}
+	if err := e.Run(e.Now() + testServerConfig().BootDelay + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync(e.Now())
+	for _, s := range f.Servers() {
+		if s.State() != server.StateOff {
+			t.Errorf("%s state = %v after collapse, want off", s.Name(), s.State())
+		}
+	}
+}

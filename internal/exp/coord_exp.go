@@ -72,7 +72,8 @@ func pathologyManagerConfig(mode core.PolicyMode, fleet, initialOn int) core.Man
 }
 
 // RunPathology runs all five modes on a 3-day diurnal demand.
-func RunPathology(seed int64) (Result, error) {
+func RunPathology(env *Env) (Result, error) {
+	seed := env.Seed
 	const fleet = 40
 	srv := server.DefaultConfig()
 	demand := func(now time.Duration) float64 {
@@ -94,7 +95,7 @@ func RunPathology(seed int64) (Result, error) {
 		if mode == core.ModeDVFSOnly {
 			initialOn = peakSized
 		}
-		e := sim.NewEngine(seed)
+		e := env.NewEngine(seed)
 		m, err := core.NewManager(e, pathologyManagerConfig(mode, fleet, initialOn), demand)
 		if err != nil {
 			return nil, err
@@ -146,7 +147,8 @@ func (r DVFSResult) Report() string {
 }
 
 // RunDVFS runs a single server's closed loop for 24 hours.
-func RunDVFS(seed int64) (Result, error) {
+func RunDVFS(env *Env) (Result, error) {
+	seed := env.Seed
 	cfg := server.DefaultConfig()
 	q := workload.DefaultQueueModel()
 	const sla = 120 * time.Millisecond
@@ -156,7 +158,7 @@ func RunDVFS(seed int64) (Result, error) {
 	}
 
 	run := func(useFeedback bool) (kwh float64, violRate float64, meanPState float64, err error) {
-		e := sim.NewEngine(seed)
+		e := env.NewEngine(seed)
 		s, err := server.New(cfg)
 		if err != nil {
 			return 0, 0, 0, err
@@ -273,10 +275,11 @@ func crackServers(e *sim.Engine, n int) ([]*server.Server, error) {
 
 // RunCRAC reproduces the §5.1 scenario end to end with real servers that
 // trip.
-func RunCRAC(seed int64) (Result, error) {
+func RunCRAC(env *Env) (Result, error) {
+	seed := env.Seed
 	const perZone = 100
 	runScenario := func(migrate bool) (maxInletB, maxInletAny, supplyRise float64, trips int, err error) {
-		e := sim.NewEngine(seed)
+		e := env.NewEngine(seed)
 		room, err := cooling.TwoZoneRoom(0.85, 0.35)
 		if err != nil {
 			return 0, 0, 0, 0, err

@@ -51,7 +51,8 @@ func (r TelemetryResult) Report() string {
 // 100-counter × 15-second scenario and measures rates with the wall
 // clock (the only experiment where wall time, not virtual time, is the
 // metric).
-func RunTelemetry(seed int64) (Result, error) {
+func RunTelemetry(env *Env) (Result, error) {
+	seed := env.Seed
 	_ = seed // deterministic synthetic values; no randomness needed
 	store, err := telemetry.NewStore(telemetry.Config{
 		RawInterval:  15 * stdtime.Second,
@@ -182,7 +183,8 @@ func (r SensorNetResult) Report() string {
 }
 
 // RunSensorNet senses a synthetic hot-spot field.
-func RunSensorNet(seed int64) (Result, error) {
+func RunSensorNet(env *Env) (Result, error) {
+	seed := env.Seed
 	const zones = 24
 	truth := func(z int) float64 {
 		// Two hot spots over a 21 °C floor.

@@ -8,7 +8,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/power"
 	"repro/internal/server"
-	"repro/internal/sim"
 )
 
 // ---------------------------------------------------------------------------
@@ -56,8 +55,9 @@ func (r AblateDCResult) Report() string {
 }
 
 // RunAblateDC sweeps fleet utilization through both plants.
-func RunAblateDC(seed int64) (Result, error) {
-	e := sim.NewEngine(seed)
+func RunAblateDC(env *Env) (Result, error) {
+	seed := env.Seed
+	e := env.NewEngine(seed)
 	cfg := server.DefaultConfig()
 	const perRack = 30
 	const racks = 8

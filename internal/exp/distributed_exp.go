@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -51,7 +50,8 @@ func (r DistributedResult) Report() string {
 
 // RunDistributed runs centralized and distributed organizations over two
 // diurnal days.
-func RunDistributed(seed int64) (Result, error) {
+func RunDistributed(env *Env) (Result, error) {
+	seed := env.Seed
 	const fleet = 40
 	srv := server.DefaultConfig()
 	demand := func(now time.Duration) float64 {
@@ -73,7 +73,7 @@ func RunDistributed(seed int64) (Result, error) {
 	var res DistributedResult
 
 	// Centralized.
-	e := sim.NewEngine(seed)
+	e := env.NewEngine(seed)
 	central, err := core.NewManager(e, base, demand)
 	if err != nil {
 		return nil, err
@@ -89,7 +89,7 @@ func RunDistributed(seed int64) (Result, error) {
 	})
 
 	for _, split := range [][]int{{20, 20}, {10, 10, 10, 10}} {
-		e := sim.NewEngine(seed)
+		e := env.NewEngine(seed)
 		dist, err := core.NewDistributed(e, base, split, demand)
 		if err != nil {
 			return nil, err

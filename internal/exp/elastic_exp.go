@@ -48,7 +48,8 @@ func (r AnimotoResult) Report() string {
 }
 
 // RunAnimoto drives the surge trace through the forecast provisioner.
-func RunAnimoto(seed int64) (Result, error) {
+func RunAnimoto(env *Env) (Result, error) {
+	seed := env.Seed
 	surge, err := trace.GenerateSurge(trace.DefaultSurgeConfig(), sim.NewRNG(seed))
 	if err != nil {
 		return nil, err
@@ -178,7 +179,8 @@ func (r ConsolidateResult) Report() string {
 
 // RunConsolidate drives the Figure-3 workload through the connection
 // service model.
-func RunConsolidate(seed int64) (Result, error) {
+func RunConsolidate(env *Env) (Result, error) {
+	seed := env.Seed
 	m, err := trace.GenerateMessenger(trace.DefaultMessengerConfig(), sim.NewRNG(seed))
 	if err != nil {
 		return nil, err
@@ -290,7 +292,8 @@ func (r InterfereResult) Report() string {
 }
 
 // RunInterfere runs both placements.
-func RunInterfere(seed int64) (Result, error) {
+func RunInterfere(env *Env) (Result, error) {
+	seed := env.Seed
 	rng := sim.NewRNG(seed)
 
 	// --- Disk contention: 8 disk-heavy VMs over 8 hosts. ---

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/sim"
 )
 
 // Result is one experiment's outcome.
@@ -20,8 +22,34 @@ type Result interface {
 	Report() string
 }
 
-// Runner executes an experiment from a seed.
-type Runner func(seed int64) (Result, error)
+// Env is the per-run environment handed to every experiment runner: the
+// deterministic seed plus a kernel probe through which the parallel
+// harness observes engine-level statistics (events fired, peak queue
+// depth). Experiments create engines via Env.NewEngine so the probe sees
+// every engine a run constructs; determinism is untouched because the
+// engine is still seeded exactly as before.
+type Env struct {
+	// Seed is the run's deterministic seed.
+	Seed  int64
+	probe sim.Probe
+}
+
+// NewEnv builds a run environment for the given seed.
+func NewEnv(seed int64) *Env { return &Env{Seed: seed} }
+
+// NewEngine constructs an engine seeded with seed and registers it with
+// the run's probe. Experiments that build several engines (e.g. one per
+// policy mode) call it once per engine, usually with env.Seed so the
+// modes see identical stochastic inputs.
+func (v *Env) NewEngine(seed int64) *sim.Engine {
+	return v.probe.Observe(sim.NewEngine(seed))
+}
+
+// Stats snapshots the kernel counters of every engine this run created.
+func (v *Env) Stats() sim.Stats { return v.probe.Stats() }
+
+// Runner executes an experiment in a run environment.
+type Runner func(env *Env) (Result, error)
 
 // registry maps experiment ids to runners. Populated by Register calls
 // from each experiment file's declarations (explicit, not init()).
@@ -69,13 +97,19 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id from a seed.
 func Run(id string, seed int64) (Result, error) {
+	return RunEnv(id, NewEnv(seed))
+}
+
+// RunEnv executes one experiment by id in a caller-supplied environment.
+// The harness uses this form so it can read env.Stats() afterwards.
+func RunEnv(id string, env *Env) (Result, error) {
 	r, ok := registry()[id]
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return r(seed)
+	return r(env)
 }
 
 // header renders a report header line.

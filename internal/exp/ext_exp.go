@@ -52,7 +52,8 @@ func (r CappingResult) Report() string {
 }
 
 // RunCapping drives a diurnal load through an oversubscribed rack.
-func RunCapping(seed int64) (Result, error) {
+func RunCapping(env *Env) (Result, error) {
+	seed := env.Seed
 	const n = 10
 	// Cap at 2800 W against a 3000 W worst case: the oversubscription bet
 	// is that simultaneous full utilization is rare — here a two-hour
@@ -61,7 +62,7 @@ func RunCapping(seed int64) (Result, error) {
 	srvCfg := server.DefaultConfig()
 
 	runOnce := func(protect bool) (overFrac, kept float64, throttles int, err error) {
-		e := sim.NewEngine(seed)
+		e := env.NewEngine(seed)
 		rack, err := power.NewNode("rack", power.KindRack, 10_000, power.DefaultRackLoss)
 		if err != nil {
 			return 0, 0, 0, err
@@ -168,7 +169,8 @@ func (r GeoResult) Report() string {
 // RunGeo routes a diurnal demand across three sites whose marginal PUE
 // follows their weather (economizers engage when their outside air
 // allows).
-func RunGeo(seed int64) (Result, error) {
+func RunGeo(env *Env) (Result, error) {
+	seed := env.Seed
 	rng := sim.NewRNG(seed)
 	mkWeather := func(label string, mean float64) (*trace.Weather, error) {
 		cfg := trace.DefaultWeatherConfig()
@@ -280,7 +282,8 @@ func (r AblateForecastResult) Report() string {
 // RunAblateForecast runs the surge under three forecaster families. The
 // scenario is deliberately tight — a one-day ramp, no spare servers, 95 %
 // target utilization — so forecaster quality is the only safety margin.
-func RunAblateForecast(seed int64) (Result, error) {
+func RunAblateForecast(env *Env) (Result, error) {
+	seed := env.Seed
 	cfg := trace.DefaultSurgeConfig()
 	cfg.RampDuration = 24 * time.Hour // steeper than the 3-day Animoto ramp
 	surge, err := trace.GenerateSurge(cfg, sim.NewRNG(seed))
@@ -376,7 +379,8 @@ func (r AblateLadderResult) Report() string {
 }
 
 // RunAblateLadder runs the coordinated manager with three ladders.
-func RunAblateLadder(seed int64) (Result, error) {
+func RunAblateLadder(env *Env) (Result, error) {
+	seed := env.Seed
 	fine := make([]server.PState, 0, 9)
 	for f := 1.0; f > 0.55; f -= 0.05 {
 		fine = append(fine, server.PState{Freq: f, DynFactor: f * f * f})
@@ -399,7 +403,7 @@ func RunAblateLadder(seed int64) (Result, error) {
 			frac := 0.15 + 0.35*0.5*(1+math.Cos(2*math.Pi*(h-14)/24))
 			return frac * fleet * srv.Capacity
 		}
-		e := sim.NewEngine(seed)
+		e := env.NewEngine(seed)
 		m, err := core.NewManager(e, core.ManagerConfig{
 			ServerConfig:   srv,
 			FleetSize:      fleet,
@@ -463,7 +467,8 @@ func (r AblateHysteresisResult) Report() string {
 
 // RunAblateHysteresis drives a noisy diurnal trace through provisioners
 // with increasing hysteresis.
-func RunAblateHysteresis(seed int64) (Result, error) {
+func RunAblateHysteresis(env *Env) (Result, error) {
+	seed := env.Seed
 	cfg := trace.DefaultDiurnalConfig()
 	cfg.Duration = 3 * 24 * time.Hour
 	cfg.Step = 5 * time.Minute

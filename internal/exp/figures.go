@@ -65,8 +65,9 @@ func (r Fig1Result) Report() string {
 
 // RunFig1 sweeps fleet utilization through a canonical tree and reports
 // per-tier losses and the UPS sizing rule.
-func RunFig1(seed int64) (Result, error) {
-	e := sim.NewEngine(seed)
+func RunFig1(env *Env) (Result, error) {
+	seed := env.Seed
+	e := env.NewEngine(seed)
 	cfg := server.DefaultConfig()
 	topoCfg := power.TopologyConfig{
 		UPSCount: 2, PDUsPerUPS: 2, RacksPerPDU: 4,
@@ -174,8 +175,9 @@ func (r Fig2Result) CSVs() map[string]string {
 
 // RunFig2 drives a 4-zone 2-CRAC room through a heat step and measures
 // the slow response.
-func RunFig2(seed int64) (Result, error) {
-	e := sim.NewEngine(seed)
+func RunFig2(env *Env) (Result, error) {
+	seed := env.Seed
+	e := env.NewEngine(seed)
 	room, err := cooling.UniformRoom(4, 2, 0.9)
 	if err != nil {
 		return nil, err
@@ -268,7 +270,8 @@ func (r Fig3Result) CSVs() map[string]string {
 
 // RunFig3 generates the calibrated week-long trace and measures the
 // figure's properties.
-func RunFig3(seed int64) (Result, error) {
+func RunFig3(env *Env) (Result, error) {
+	seed := env.Seed
 	m, err := trace.GenerateMessenger(trace.DefaultMessengerConfig(), sim.NewRNG(seed))
 	if err != nil {
 		return nil, err
@@ -347,8 +350,9 @@ func (r Fig4Result) Report() string {
 }
 
 // RunFig4 assembles the facility and the coordinated manager together.
-func RunFig4(seed int64) (Result, error) {
-	e := sim.NewEngine(seed)
+func RunFig4(env *Env) (Result, error) {
+	seed := env.Seed
+	e := env.NewEngine(seed)
 	srvCfg := server.DefaultConfig()
 	room := cooling.RoomConfig{
 		Zones: []cooling.ZoneConfig{

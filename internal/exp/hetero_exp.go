@@ -41,14 +41,15 @@ func (r HeteroResult) Report() string {
 }
 
 // RunHetero runs both fleets through the same day.
-func RunHetero(seed int64) (Result, error) {
+func RunHetero(env *Env) (Result, error) {
+	seed := env.Seed
 	const n = 10
 	demandFrac := func(now time.Duration) float64 {
 		h := math.Mod(now.Hours(), 24)
 		return 0.15 + 0.45*0.5*(1+math.Cos(2*math.Pi*(h-14)/24))
 	}
 	runFleet := func(curve []server.CurvePoint) (float64, error) {
-		e := sim.NewEngine(seed)
+		e := env.NewEngine(seed)
 		cfg := server.DefaultConfig()
 		cfg.PowerCurve = curve
 		servers := make([]*server.Server, 0, n)

@@ -48,7 +48,8 @@ func (r ParkingResult) Report() string {
 // strategies. Demand is dispatched evenly; the parking strategy parks the
 // cores the demand does not need, and the off strategy consolidates onto
 // the fewest servers and powers off the rest.
-func RunParking(seed int64) (Result, error) {
+func RunParking(env *Env) (Result, error) {
+	seed := env.Seed
 	const n = 10
 	cfg := server.DefaultConfig()
 	demandFrac := func(now time.Duration) float64 {
@@ -57,7 +58,7 @@ func RunParking(seed int64) (Result, error) {
 	}
 
 	runStrategy := func(strategy string) (float64, error) {
-		e := sim.NewEngine(seed)
+		e := env.NewEngine(seed)
 		servers := make([]*server.Server, 0, n)
 		for i := 0; i < n; i++ {
 			c := cfg

@@ -42,8 +42,9 @@ func (r Idle60Result) Report() string {
 }
 
 // RunIdle60 measures the server power model directly.
-func RunIdle60(seed int64) (Result, error) {
-	e := sim.NewEngine(seed)
+func RunIdle60(env *Env) (Result, error) {
+	seed := env.Seed
+	e := env.NewEngine(seed)
 	cfg := server.DefaultConfig()
 	s, err := server.New(cfg)
 	if err != nil {
@@ -68,7 +69,7 @@ func RunIdle60(seed int64) (Result, error) {
 	idleDay := (s.EnergyJ() - startJ) / 3.6e6
 
 	// One off day with a single boot cycle (boot energy + boot-time idle).
-	e2 := sim.NewEngine(seed)
+	e2 := env.NewEngine(seed)
 	s2, err := server.New(cfg)
 	if err != nil {
 		return nil, err
@@ -129,7 +130,8 @@ func (r PUE2Result) Report() string {
 
 // RunPUE2 evaluates both plants hourly over a synthetic weather year with
 // a fixed 100 kW IT load and a lightly-loaded distribution path.
-func RunPUE2(seed int64) (Result, error) {
+func RunPUE2(env *Env) (Result, error) {
+	seed := env.Seed
 	weather, err := trace.GenerateWeather(trace.DefaultWeatherConfig(), sim.NewRNG(seed))
 	if err != nil {
 		return nil, err
@@ -241,7 +243,8 @@ func (r Tier2Result) Report() string {
 
 // RunTier2 evaluates the default tier-2 design analytically and by
 // failure injection.
-func RunTier2(seed int64) (Result, error) {
+func RunTier2(env *Env) (Result, error) {
+	seed := env.Seed
 	d := power.DefaultTier2Design()
 	a, err := d.Availability()
 	if err != nil {
@@ -297,7 +300,8 @@ func (r OversubResult) Report() string {
 
 // RunOversub builds a 12-tenant mix with staggered peak hours and sweeps
 // capacity.
-func RunOversub(seed int64) (Result, error) {
+func RunOversub(env *Env) (Result, error) {
+	seed := env.Seed
 	rng := sim.NewRNG(seed)
 	var tenants []*trace.Series
 	for i := 0; i < 12; i++ {

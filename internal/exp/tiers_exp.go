@@ -58,7 +58,8 @@ func (r TiersResult) Report() string {
 // a diurnal week; the storage tier's 20× fanout makes it dominate the
 // fleet — the compounding the paper warns about ("a user request can hit
 // hundreds or even thousands of machines").
-func RunTiers(seed int64) (Result, error) {
+func RunTiers(env *Env) (Result, error) {
+	seed := env.Seed
 	cfg := service.DefaultThreeTier("shop")
 	srv := server.DefaultConfig()
 	dem := trace.DefaultDiurnalConfig()

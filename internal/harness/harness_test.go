@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fastIDs is a mix of cheap virtual-time experiments spanning several
+// substrates. telemetry is deliberately absent everywhere in this file:
+// it measures wall-clock ingest rates, so its report text is the one
+// documented exception to bit-for-bit determinism.
+var fastIDs = []string{"fig1", "idle60", "dvfs", "capping", "hetero"}
+
+func TestRunAggregatesReplications(t *testing.T) {
+	sums, err := Run(Config{IDs: fastIDs, BaseSeed: 1, Reps: 3, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != len(fastIDs) {
+		t.Fatalf("got %d summaries, want %d", len(sums), len(fastIDs))
+	}
+	for i, s := range sums {
+		if s.ID != fastIDs[i] {
+			t.Errorf("summary %d id = %q, want %q (order must follow cfg.IDs)", i, s.ID, fastIDs[i])
+		}
+		if len(s.Reps) != 3 {
+			t.Errorf("%s: %d reps, want 3", s.ID, len(s.Reps))
+		}
+		for r, jr := range s.Reps {
+			if jr.Rep != r {
+				t.Errorf("%s: rep %d out of order (got %d)", s.ID, r, jr.Rep)
+			}
+			if jr.Seed != int64(1+r) {
+				t.Errorf("%s rep %d: seed = %d, want %d", s.ID, r, jr.Seed, 1+r)
+			}
+			if jr.Report == "" {
+				t.Errorf("%s rep %d: empty report", s.ID, r)
+			}
+			if jr.Engines == 0 || jr.Events == 0 {
+				t.Errorf("%s rep %d: no kernel activity observed (engines=%d events=%d)",
+					s.ID, r, jr.Engines, jr.Events)
+			}
+		}
+		if s.Events.N != 3 {
+			t.Errorf("%s: events aggregate over %d samples, want 3", s.ID, s.Events.N)
+		}
+		if s.Events.Min > s.Events.Mean || s.Events.Mean > s.Events.Max {
+			t.Errorf("%s: inconsistent aggregate %+v", s.ID, s.Events)
+		}
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts is the core guarantee: a job's result
+// is a pure function of (id, seed), so any worker count yields identical
+// per-seed reports and kernel counters.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	cfg := Config{IDs: fastIDs, BaseSeed: 7, Reps: 4}
+	cfg.Parallel = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 8
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		for r := range serial[i].Reps {
+			a, b := serial[i].Reps[r], parallel[i].Reps[r]
+			if a.Report != b.Report {
+				t.Errorf("%s seed %d: report differs between 1 and 8 workers", a.ID, a.Seed)
+			}
+			if a.Events != b.Events || a.PeakPending != b.PeakPending || a.Engines != b.Engines {
+				t.Errorf("%s seed %d: kernel counters differ: %d/%d/%d vs %d/%d/%d",
+					a.ID, a.Seed, a.Events, a.PeakPending, a.Engines, b.Events, b.PeakPending, b.Engines)
+			}
+		}
+	}
+}
+
+func TestSeedReplicationsDiffer(t *testing.T) {
+	// Stochastic experiments must actually vary across seeds, otherwise
+	// the aggregates are theater. oversub draws per-server power samples.
+	sums, err := Run(Config{IDs: []string{"oversub"}, BaseSeed: 1, Reps: 3, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := sums[0].Reps
+	if reps[0].Report == reps[1].Report && reps[1].Report == reps[2].Report {
+		t.Error("oversub reports identical across three seeds; replication is not varying the seed")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	sums, err := Run(Config{IDs: []string{"fig1", "nope"}, BaseSeed: 1})
+	if err == nil {
+		t.Fatal("unknown experiment should surface an error")
+	}
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2 (good jobs must still complete)", len(sums))
+	}
+	if len(sums[1].Errors) != 1 {
+		t.Errorf("nope: errors = %v, want 1 entry", sums[1].Errors)
+	}
+	if sums[0].Events.N != 1 {
+		t.Errorf("fig1 should have succeeded alongside the failure")
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	c := Config{}.normalize()
+	if len(c.IDs) == 0 {
+		t.Error("normalize should default to all experiment ids")
+	}
+	if c.Reps != 1 || c.Parallel < 1 {
+		t.Errorf("normalize defaults: reps=%d parallel=%d", c.Reps, c.Parallel)
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	sums, err := Run(Config{IDs: []string{"fig1"}, BaseSeed: 1, Reps: 2, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"wall_seconds"`, `"events_per_sec"`, `"peak_pending"`, `"seed"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON sidecar missing %s:\n%s", key, data)
+		}
+	}
+	var back []Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Reps[1].Events != sums[0].Reps[1].Events {
+		t.Error("events did not survive the JSON round trip")
+	}
+}
+
+func TestTableRendersOneRowPerExperiment(t *testing.T) {
+	sums, err := Run(Config{IDs: fastIDs, BaseSeed: 1, Reps: 2, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := Table(sums)
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 1+len(fastIDs) {
+		t.Fatalf("table has %d lines, want header + %d rows:\n%s", len(lines), len(fastIDs), table)
+	}
+	if !strings.Contains(lines[0], "events/s") || !strings.Contains(lines[0], "peak queue") {
+		t.Errorf("missing header columns:\n%s", lines[0])
+	}
+	for _, id := range fastIDs {
+		if !strings.Contains(table, id) {
+			t.Errorf("table missing row for %s", id)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package power
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/sim"
@@ -29,7 +30,20 @@ func SimulateAvailability(d Tier2Design, horizon time.Duration, rng *sim.RNG) (f
 		if c.MTTR < 0 {
 			return nil, fmt.Errorf("power: component %q MTTR must be non-negative", c.Name)
 		}
-		return &unit{mtbf: c.MTBF.Seconds(), mttr: c.MTTR.Seconds(), up: true}, nil
+		u := &unit{mtbf: c.MTBF.Seconds(), mttr: c.MTTR.Seconds(), up: true}
+		// A zero MTTR is valid (the analytic model treats it as a
+		// perfectly-repaired component) but must not reach rng.Exp: an
+		// infinite repair rate yields degenerate zero-delay events, so
+		// the renewal process below special-cases it as instant repair.
+		if r := 1 / u.mtbf; math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			return nil, fmt.Errorf("power: component %q failure rate %v is not usable", c.Name, r)
+		}
+		if u.mttr > 0 {
+			if r := 1 / u.mttr; math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+				return nil, fmt.Errorf("power: component %q repair rate %v is not usable", c.Name, r)
+			}
+		}
+		return u, nil
 	}
 
 	var units []*unit
@@ -114,8 +128,26 @@ func SimulateAvailability(d Tier2Design, horizon time.Duration, rng *sim.RNG) (f
 		} else {
 			wait = rng.Exp(1 / u.mttr)
 		}
+		// An exponential draw from a validated rate is finite and
+		// non-negative; reject anything else rather than scheduling a
+		// NaN/negative delay (which would panic the kernel) or an
+		// overflowing one.
+		if math.IsNaN(wait) || wait < 0 {
+			panic(fmt.Sprintf("power: invalid renewal wait %v", wait))
+		}
+		if max := (horizon + time.Hour).Seconds(); wait > max {
+			wait = max // beyond the horizon; the event never fires
+		}
 		e.ScheduleAfter(time.Duration(wait*float64(time.Second)), func(eng *sim.Engine) {
 			account(eng.Now())
+			if u.up && u.mttr == 0 {
+				// Instant repair: the component fails and is restored
+				// in zero time, contributing no downtime — without
+				// this, a zero MTTR would feed rng.Exp an infinite
+				// rate and storm the queue with zero-delay repairs.
+				schedule(u)
+				return
+			}
 			u.up = !u.up
 			wasUp = systemUp()
 			schedule(u)

@@ -69,3 +69,51 @@ func TestSimulateAvailabilityValidation(t *testing.T) {
 		t.Error("invalid redundancy should error")
 	}
 }
+
+// TestSimulateAvailabilityZeroMTTR is the regression for the zero-MTTR
+// bug: a component with MTTR == 0 passes validation but used to feed
+// rng.Exp an infinite repair rate. Instant repair means the component can
+// never be observed down, so it must not reduce availability at all.
+func TestSimulateAvailabilityZeroMTTR(t *testing.T) {
+	d := DefaultTier2Design()
+	// A fragile series component (fails every ~6h) that repairs
+	// instantly. Keep the rest of the design perfect-ish by comparing
+	// against the same design without the component.
+	d.Path = append(d.Path, Component{Name: "flaky-switch", MTBF: 6 * time.Hour, MTTR: 0})
+	const horizon = 365 * 24 * time.Hour
+	withFlaky, err := SimulateAvailability(d, horizon, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultTier2Design()
+	baseA, err := SimulateAvailability(base, horizon, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, and the instantly-repaired component contributes no
+	// downtime, so availability must not collapse: allow only ordinary
+	// Monte-Carlo noise between the two runs.
+	if math.Abs(withFlaky-baseA) > 0.01 {
+		t.Errorf("instantly-repaired component moved availability: %.5f vs %.5f", withFlaky, baseA)
+	}
+}
+
+// TestSimulateAvailabilityZeroMTTRNoEventStorm bounds the event count: a
+// zero-MTTR component must cost one event per failure, not a zero-delay
+// repair storm.
+func TestSimulateAvailabilityZeroMTTRNoEventStorm(t *testing.T) {
+	d := DefaultTier2Design()
+	d.Path = append(d.Path, Component{Name: "flaky", MTBF: time.Hour, MTTR: 0})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := SimulateAvailability(d, 30*24*time.Hour, sim.NewRNG(4)); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("SimulateAvailability did not finish; zero-MTTR event storm suspected")
+	}
+}

@@ -23,7 +23,8 @@ import (
 type State int
 
 // Server lifecycle states. Transitions: Off→Booting→Active→ShuttingDown→Off,
-// with Active→Off directly on a thermal trip.
+// with Booting→ShuttingDown on an aborted boot and Active/Booting→Off
+// directly on a thermal trip.
 const (
 	StateOff State = iota + 1
 	StateBooting
@@ -404,10 +405,14 @@ func (s *Server) PowerOn(e *sim.Engine) {
 	e.ScheduleAt(s.readyAt, func(eng *sim.Engine) { s.advance(eng.Now()) })
 }
 
-// PowerOff starts a graceful shutdown. It is a no-op unless Active.
+// PowerOff starts a graceful shutdown. It applies to Active servers and
+// to Booting ones — a boot in flight is aborted into the shutdown path
+// (the boot energy is already spent and is not refunded), so an elastic
+// controller that lowers its target during a boot window actually sheds
+// the committed capacity. It is a no-op when Off or already ShuttingDown.
 func (s *Server) PowerOff(e *sim.Engine) {
 	s.advance(e.Now())
-	if s.state != StateActive {
+	if s.state != StateActive && s.state != StateBooting {
 		return
 	}
 	s.state = StateShuttingDown

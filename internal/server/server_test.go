@@ -414,3 +414,56 @@ func TestPowerCurveInterpolation(t *testing.T) {
 		t.Errorf("linear dynFraction = %v", got)
 	}
 }
+
+func TestPowerOffAbortsBoot(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := MustNew(DefaultConfig())
+	s.PowerOn(e)
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StateBooting {
+		t.Fatalf("state = %v mid-boot", s.State())
+	}
+	s.PowerOff(e)
+	if s.State() != StateShuttingDown {
+		t.Fatalf("state after abort = %v, want shutting-down", s.State())
+	}
+	// The original boot-completion event must not flip the server back
+	// to Active.
+	if err := e.Run(e.Now() + DefaultConfig().BootDelay + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	s.Sync(e.Now())
+	if s.State() != StateOff {
+		t.Errorf("state after settling = %v, want off", s.State())
+	}
+	if s.AvailableCapacity() != 0 {
+		t.Errorf("aborted boot still advertises capacity %v", s.AvailableCapacity())
+	}
+	if s.Boots() != 1 {
+		t.Errorf("boots = %d, want 1 (energy charged once, not refunded)", s.Boots())
+	}
+}
+
+func TestPowerOffWhileShuttingDownIsNoop(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := MustNew(DefaultConfig())
+	s.PowerOn(e)
+	if err := e.Run(e.Now() + DefaultConfig().BootDelay + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.PowerOff(e)
+	first := s.State()
+	s.PowerOff(e) // second call must not extend the shutdown deadline
+	if s.State() != first || first != StateShuttingDown {
+		t.Fatalf("state = %v, want shutting-down", s.State())
+	}
+	if err := e.Run(e.Now() + DefaultConfig().ShutdownDelay + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Sync(e.Now())
+	if s.State() != StateOff {
+		t.Errorf("state = %v, want off", s.State())
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+// Stats is a snapshot of kernel counters aggregated over every engine a
+// probe has observed. The parallel experiment harness reports these per
+// job (events fired, throughput, queue high-water mark).
+type Stats struct {
+	// Engines is how many engines were observed.
+	Engines int `json:"engines"`
+	// Processed is the total number of events fired across all engines.
+	Processed uint64 `json:"processed"`
+	// PeakPending is the largest event-queue depth any observed engine
+	// reached.
+	PeakPending int `json:"peak_pending"`
+}
+
+// Probe aggregates kernel statistics across the engines registered with
+// it. A probe is owned by a single run (one experiment × one seed): it is
+// not safe for concurrent use, and the harness gives every worker job its
+// own probe so parallel runs never share one.
+type Probe struct {
+	engines []*Engine
+}
+
+// Observe registers an engine with the probe and returns it unchanged, so
+// call sites can wrap construction: p.Observe(NewEngine(seed)).
+func (p *Probe) Observe(e *Engine) *Engine {
+	p.engines = append(p.engines, e)
+	return e
+}
+
+// Stats snapshots the counters of every observed engine.
+func (p *Probe) Stats() Stats {
+	s := Stats{Engines: len(p.engines)}
+	for _, e := range p.engines {
+		s.Processed += e.Processed()
+		if e.PeakPending() > s.PeakPending {
+			s.PeakPending = e.PeakPending()
+		}
+	}
+	return s
+}

@@ -69,6 +69,9 @@ type Engine struct {
 	stopped bool
 	// processed counts fired events, exposed for harness statistics.
 	processed uint64
+	// peakPending is the high-water mark of the event queue, exposed for
+	// harness statistics.
+	peakPending int
 }
 
 // NewEngine builds an engine whose random source is seeded with seed.
@@ -88,6 +91,18 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending reports how many events are currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// PeakPending reports the high-water mark of the event queue over the
+// engine's lifetime.
+func (e *Engine) PeakPending() int { return e.peakPending }
+
+// push enqueues an event and maintains the queue-depth high-water mark.
+func (e *Engine) push(ev *event) {
+	heap.Push(&e.queue, ev)
+	if len(e.queue) > e.peakPending {
+		e.peakPending = len(e.queue)
+	}
+}
+
 // Cancel is returned by Schedule-family methods; calling it prevents the
 // event from firing (it is a no-op after the event has fired).
 type Cancel func()
@@ -101,7 +116,7 @@ func (e *Engine) ScheduleAt(at time.Duration, fn Handler) Cancel {
 	cancelled := new(bool)
 	ev := &event{at: at, seq: e.seq, fn: fn, cancel: cancelled}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return func() { *cancelled = true }
 }
 
@@ -131,11 +146,11 @@ func (e *Engine) Every(period time.Duration, fn Handler) Cancel {
 		}
 		ev := &event{at: eng.now + period, seq: eng.seq, fn: tick, cancel: cancelled}
 		eng.seq++
-		heap.Push(&eng.queue, ev)
+		eng.push(ev)
 	}
 	ev := &event{at: e.now + period, seq: e.seq, fn: tick, cancel: cancelled}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return func() { *cancelled = true }
 }
 
@@ -156,20 +171,25 @@ func (e *Engine) EveryFrom(start, period time.Duration, fn Handler) Cancel {
 		}
 		ev := &event{at: eng.now + period, seq: eng.seq, fn: tick, cancel: cancelled}
 		eng.seq++
-		heap.Push(&eng.queue, ev)
+		eng.push(ev)
 	}
 	ev := &event{at: start, seq: e.seq, fn: tick, cancel: cancelled}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return func() { *cancelled = true }
 }
 
-// Stop halts Run after the currently-firing event returns.
+// Stop halts Run after the currently-firing event returns. A stop applies
+// only to the Run in progress: Run clears the flag on entry, so a stopped
+// engine can always be resumed with a fresh call to Run (a Stop issued
+// while no Run is executing is discarded).
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run fires events in order until the queue is empty or virtual time would
 // pass horizon. Events exactly at the horizon still fire. It returns
-// ErrStopped if Stop was called, otherwise nil. After Run returns, Now is
+// ErrStopped if Stop was called during this run, otherwise nil. The
+// stopped flag is cleared on entry, so a stopped engine resumes from where
+// it halted when Run is called again. After Run returns, Now is
 // min(horizon, time of last fired event) — the clock is advanced to the
 // horizon when the queue drains early so that integrations cover the full
 // window.
@@ -177,6 +197,7 @@ func (e *Engine) Run(horizon time.Duration) error {
 	if horizon < e.now {
 		return fmt.Errorf("sim: horizon %v before now %v", horizon, e.now)
 	}
+	e.stopped = false
 	for len(e.queue) > 0 {
 		if e.stopped {
 			return ErrStopped

@@ -288,13 +288,95 @@ func TestStepSkipsCancelled(t *testing.T) {
 
 func TestRunStopsMidQueue(t *testing.T) {
 	e := NewEngine(1)
+	fired := false
 	e.ScheduleAt(time.Second, func(eng *Engine) { eng.Stop() })
-	e.ScheduleAt(2*time.Second, func(*Engine) { t.Error("event after stop fired") })
+	e.ScheduleAt(2*time.Second, func(*Engine) { fired = true })
 	if err := e.Run(time.Hour); err != ErrStopped {
 		t.Fatalf("err = %v", err)
 	}
-	// A second Run also reports stopped immediately.
-	if err := e.Run(2 * time.Hour); err != ErrStopped {
-		t.Fatalf("second run err = %v", err)
+	if fired {
+		t.Error("event after stop fired during the stopped run")
+	}
+	if e.Now() != time.Second {
+		t.Errorf("clock after stop = %v, want 1s", e.Now())
+	}
+	// Stop applies only to the run in progress: a second Run resumes from
+	// where the engine halted and drains the remaining events.
+	if err := e.Run(2 * time.Hour); err != nil {
+		t.Fatalf("resumed run err = %v", err)
+	}
+	if !fired {
+		t.Error("pending event did not fire on resume")
+	}
+	if e.Now() != 2*time.Hour {
+		t.Errorf("clock after resume = %v, want horizon", e.Now())
+	}
+}
+
+func TestRunResumesAfterRepeatedStops(t *testing.T) {
+	e := NewEngine(1)
+	var fired []int
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.ScheduleAt(time.Duration(i)*time.Second, func(eng *Engine) {
+			fired = append(fired, i)
+			eng.Stop()
+		})
+	}
+	for i := 1; i <= 3; i++ {
+		if err := e.Run(time.Hour); err != ErrStopped {
+			t.Fatalf("run %d err = %v", i, err)
+		}
+		if len(fired) != i {
+			t.Fatalf("after run %d fired %v", i, fired)
+		}
+	}
+	if err := e.Run(time.Hour); err != nil {
+		t.Fatalf("final run err = %v", err)
+	}
+}
+
+func TestPeakPendingHighWaterMark(t *testing.T) {
+	e := NewEngine(1)
+	for i := 1; i <= 5; i++ {
+		e.ScheduleAt(time.Duration(i)*time.Second, func(*Engine) {})
+	}
+	if got := e.PeakPending(); got != 5 {
+		t.Fatalf("peak before run = %d, want 5", got)
+	}
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Errorf("pending after run = %d, want 0", got)
+	}
+	if got := e.PeakPending(); got != 5 {
+		t.Errorf("peak after run = %d, want 5 (high-water mark must not decay)", got)
+	}
+}
+
+func TestProbeAggregatesEngines(t *testing.T) {
+	var p Probe
+	a := p.Observe(NewEngine(1))
+	b := p.Observe(NewEngine(2))
+	for i := 1; i <= 3; i++ {
+		a.ScheduleAt(time.Duration(i)*time.Second, func(*Engine) {})
+	}
+	b.ScheduleAt(time.Second, func(*Engine) {})
+	if err := a.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Engines != 2 {
+		t.Errorf("engines = %d, want 2", s.Engines)
+	}
+	if s.Processed != 4 {
+		t.Errorf("processed = %d, want 4", s.Processed)
+	}
+	if s.PeakPending != 3 {
+		t.Errorf("peak pending = %d, want 3", s.PeakPending)
 	}
 }

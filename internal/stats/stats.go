@@ -159,6 +159,36 @@ func MinMax(xs []float64) (min, max float64, err error) {
 	return min, max, nil
 }
 
+// Desc is a four-number summary of a sample set — the aggregate the
+// parallel experiment harness reports per experiment across seed
+// replications. JSON tags keep the machine-readable sidecar stable.
+type Desc struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	StdDev float64 `json:"stddev"`
+}
+
+// Describe reduces xs to its four-number summary. It returns ErrEmpty for
+// an empty slice.
+func Describe(xs []float64) (Desc, error) {
+	if len(xs) == 0 {
+		return Desc{}, ErrEmpty
+	}
+	min, max, err := MinMax(xs)
+	if err != nil {
+		return Desc{}, err
+	}
+	return Desc{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Min:    min,
+		Max:    max,
+		StdDev: StdDev(xs),
+	}, nil
+}
+
 // Percentile returns the p-quantile (p in [0,1]) of xs using linear
 // interpolation between order statistics. xs is not modified.
 func Percentile(xs []float64, p float64) (float64, error) {

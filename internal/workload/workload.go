@@ -201,7 +201,9 @@ func PackLoad(offered float64, capacities []float64, target float64) (Dispatch, 
 		remaining -= take
 	}
 	// Second pass: if target filling couldn't place everything, top up
-	// to 100 %.
+	// to 100 %. The divide-back (c·headroom)/c can land an ulp above 1,
+	// so clamp — a dispatcher must never assign more than a server's
+	// whole capacity.
 	if remaining > 0 {
 		for i, c := range capacities {
 			if remaining <= 0 || c <= 0 {
@@ -209,7 +211,7 @@ func PackLoad(offered float64, capacities []float64, target float64) (Dispatch, 
 			}
 			headroom := c * (1 - d.Utilizations[i])
 			take := math.Min(remaining, headroom)
-			d.Utilizations[i] += take / c
+			d.Utilizations[i] = math.Min(1, d.Utilizations[i]+take/c)
 			remaining -= take
 		}
 	}

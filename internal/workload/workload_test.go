@@ -235,3 +235,90 @@ func TestPackLoadValidation(t *testing.T) {
 		t.Error("target > 1 should error")
 	}
 }
+
+// TestPackLoadNeverExceedsFullUtilization is the float-rounding
+// regression: the top-up pass divides c·headroom back by c, which can
+// land an ulp above 1.0 (e.g. capacity 0.1, target ≈0.0103). No rounding
+// may ever assign a server more than its whole capacity.
+func TestPackLoadNeverExceedsFullUtilization(t *testing.T) {
+	capacities := []float64{0.1, 0.3, 1.0 / 3, 0.123456, 701.77}
+	for target := 0.01; target < 1.0; target += 0.00037 {
+		total := 0.0
+		for _, c := range capacities {
+			total += c
+		}
+		d, err := PackLoad(total*2, capacities, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range d.Utilizations {
+			if u > 1 {
+				t.Fatalf("target %v: server %d utilization %.20f exceeds 1", target, i, u)
+			}
+		}
+	}
+}
+
+func TestPackLoadZeroCapacityStaysIdle(t *testing.T) {
+	caps := []float64{100, 0, 50, 0}
+	d, err := PackLoad(200, caps, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Utilizations[1] != 0 || d.Utilizations[3] != 0 {
+		t.Errorf("zero-capacity servers got load: %v", d.Utilizations)
+	}
+	if d.Dropped != 50 {
+		t.Errorf("dropped = %v, want 50", d.Dropped)
+	}
+}
+
+func TestSpreadLoadZeroCapacityStaysIdle(t *testing.T) {
+	caps := []float64{0, 80, 0, 20}
+	d := SpreadLoad(50, caps)
+	if d.Utilizations[0] != 0 || d.Utilizations[2] != 0 {
+		t.Errorf("zero-capacity servers got load: %v", d.Utilizations)
+	}
+	if d.Dropped != 0 {
+		t.Errorf("dropped = %v, want 0", d.Dropped)
+	}
+	if d.Utilizations[1] != 0.5 || d.Utilizations[3] != 0.5 {
+		t.Errorf("proportional fill wrong: %v", d.Utilizations)
+	}
+}
+
+func TestSpreadLoadDroppedExactOnOverload(t *testing.T) {
+	caps := []float64{0.1, 0.2, 0.3}
+	total := caps[0] + caps[1] + caps[2]
+	offered := total + 0.25
+	d := SpreadLoad(offered, caps)
+	if got, want := d.Dropped, offered-total; got != want {
+		t.Errorf("dropped = %.20f, want exactly %.20f", got, want)
+	}
+	for i, u := range d.Utilizations {
+		if u != 1 {
+			t.Errorf("server %d utilization %v, want exactly 1 at overload", i, u)
+		}
+	}
+	// Negative capacities are treated as unusable, not as sinks.
+	d = SpreadLoad(1, []float64{-5, 1})
+	if d.Utilizations[0] != 0 {
+		t.Errorf("negative-capacity server got load: %v", d.Utilizations)
+	}
+}
+
+func TestSpreadLoadUtilizationNeverExceedsOne(t *testing.T) {
+	caps := []float64{0.1, 0.2, 0.30000000000000004, 1e-9}
+	for _, frac := range []float64{0.1, 0.5, 0.999999, 1.0, 1.5} {
+		total := 0.0
+		for _, c := range caps {
+			total += c
+		}
+		d := SpreadLoad(total*frac, caps)
+		for i, u := range d.Utilizations {
+			if u > 1 {
+				t.Errorf("frac %v: server %d utilization %.20f exceeds 1", frac, i, u)
+			}
+		}
+	}
+}
