@@ -47,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	reps := fs.Int("reps", 1, "seed replications per experiment (seeds seed..seed+reps-1)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size")
 	jsonOut := fs.String("json", "", "write per-job metrics and aggregates to this JSON file")
+	invariants := fs.Bool("invariants", true, "assert physical-law invariants after every kernel event")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,9 +62,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("parallel %d must be at least 1", *parallel)
 	}
 	cfg := harness.Config{
-		BaseSeed: *seed,
-		Reps:     *reps,
-		Parallel: *parallel,
+		BaseSeed:         *seed,
+		Reps:             *reps,
+		Parallel:         *parallel,
+		DisarmInvariants: !*invariants,
 	}
 	if *id != "" {
 		cfg.IDs = []string{*id}

@@ -1,0 +1,92 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+// TestForecastEdgeCases is the table-driven edge-case suite for every
+// Forecaster: empty history, single-sample history, and constant series.
+// A provisioning policy may legitimately ask for a forecast before any
+// telemetry has arrived, so these paths must return defined, finite
+// values rather than NaN.
+func TestForecastEdgeCases(t *testing.T) {
+	mk := map[string]func(t *testing.T) Forecaster{
+		"ewma": func(t *testing.T) Forecaster {
+			f, err := NewEWMA(0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+		"holt": func(t *testing.T) Forecaster {
+			f, err := NewHolt(0.5, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+		"window": func(t *testing.T) Forecaster {
+			f, err := NewMovingWindow(8, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+	}
+
+	cases := []struct {
+		name    string
+		history []float64
+		steps   int
+		want    float64
+	}{
+		{name: "empty-history", history: nil, steps: 1, want: 0},
+		{name: "empty-history-long-horizon", history: nil, steps: 100, want: 0},
+		{name: "single-sample", history: []float64{42}, steps: 1, want: 42},
+		{name: "single-sample-long-horizon", history: []float64{42}, steps: 50, want: 42},
+		{name: "single-zero-sample", history: []float64{0}, steps: 1, want: 0},
+		{name: "constant-series", history: []float64{7, 7, 7, 7, 7, 7}, steps: 1, want: 7},
+		{name: "constant-series-long-horizon", history: []float64{7, 7, 7, 7, 7, 7}, steps: 25, want: 7},
+		{name: "constant-negative-series", history: []float64{-3, -3, -3, -3}, steps: 1, want: -3},
+	}
+
+	for name, build := range mk {
+		for _, tc := range cases {
+			t.Run(name+"/"+tc.name, func(t *testing.T) {
+				f := build(t)
+				for _, x := range tc.history {
+					f.Observe(x)
+				}
+				got := f.Forecast(tc.steps)
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Fatalf("Forecast(%d) = %v, want finite", tc.steps, got)
+				}
+				// Constant history ⇒ zero trend and zero variance, so all
+				// three forecasters must agree on the exact value; empty
+				// history must default to 0.
+				if math.Abs(got-tc.want) > 1e-9 {
+					t.Fatalf("Forecast(%d) after %v = %v, want %v", tc.steps, tc.history, got, tc.want)
+				}
+			})
+		}
+	}
+}
+
+// TestForecastNonPositiveSteps: a degenerate horizon must behave like the
+// minimum lookahead of one step, not extrapolate backwards.
+func TestForecastNonPositiveSteps(t *testing.T) {
+	h, err := NewHolt(0.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{10, 20, 30, 40} {
+		h.Observe(x)
+	}
+	if got, want := h.Forecast(0), h.Forecast(1); got != want {
+		t.Errorf("Forecast(0) = %v, want Forecast(1) = %v", got, want)
+	}
+	if got, want := h.Forecast(-5), h.Forecast(1); got != want {
+		t.Errorf("Forecast(-5) = %v, want Forecast(1) = %v", got, want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 // PhysicsTick and one control decision per CRAC on its control period.
 // The returned cancel stops both.
 func (r *Room) Attach(e *sim.Engine) sim.Cancel {
+	e.Register(r)
 	cancels := make([]sim.Cancel, 0, 1+len(r.cracs))
 	cancels = append(cancels, e.Every(r.cfg.PhysicsTick, func(*sim.Engine) { r.Step() }))
 	for ci := range r.cracs {

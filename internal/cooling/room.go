@@ -276,6 +276,10 @@ func (r *Room) ZoneExhaustC(z int) float64 {
 	return zn.inlet.Output() + zn.heatW/(airHeatCapacity*zn.cfg.Airflow)
 }
 
+// UnitConfig returns the configuration of CRAC unit c (for observers that
+// need the setpoint bounds, e.g. the invariant checker).
+func (r *Room) UnitConfig(c int) CRACConfig { return r.cracs[c].cfg }
+
 // CRACSupplyC reports the supply temperature of unit c as delivered (after
 // coil lag, before transport delay).
 func (r *Room) CRACSupplyC(c int) float64 { return r.cracs[c].coil.Output() }

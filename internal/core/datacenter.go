@@ -103,6 +103,7 @@ func NewDataCenter(e *sim.Engine, cfg DataCenterConfig) (*DataCenter, error) {
 		s := s // capture for the load closure
 		topo.Racks[rack].AddLoad(func() float64 { return s.Power() })
 	}
+	e.Register(topo)
 	if cfg.SampleEvery > 0 {
 		dc.store, err = telemetry.NewStore(telemetry.DefaultConfig())
 		if err != nil {

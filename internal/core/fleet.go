@@ -45,6 +45,7 @@ func NewFleet(e *sim.Engine, cfg server.Config, n int) (*Fleet, error) {
 		}
 		f.servers = append(f.servers, s)
 	}
+	e.Register(f)
 	return f, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/invariant"
 	"repro/internal/sim"
 )
 
@@ -32,21 +33,58 @@ type Env struct {
 	// Seed is the run's deterministic seed.
 	Seed  int64
 	probe sim.Probe
+	// checker asserts physical-law invariants after every event of every
+	// engine this run creates. Armed by default; DisarmInvariants turns
+	// it off (e.g. for overhead-sensitive benchmarks).
+	checker *invariant.Checker
 }
 
-// NewEnv builds a run environment for the given seed.
-func NewEnv(seed int64) *Env { return &Env{Seed: seed} }
+// NewEnv builds a run environment for the given seed with invariant
+// checking armed.
+func NewEnv(seed int64) *Env {
+	return &Env{Seed: seed, checker: invariant.NewChecker()}
+}
+
+// DisarmInvariants turns off runtime invariant checking for engines
+// created after the call.
+func (v *Env) DisarmInvariants() { v.checker = nil }
+
+// InvariantsArmed reports whether runtime invariant checking is on.
+func (v *Env) InvariantsArmed() bool { return v.checker != nil }
 
 // NewEngine constructs an engine seeded with seed and registers it with
 // the run's probe. Experiments that build several engines (e.g. one per
 // policy mode) call it once per engine, usually with env.Seed so the
-// modes see identical stochastic inputs.
+// modes see identical stochastic inputs. When invariants are armed the
+// checker rides the engine's after-event hook.
 func (v *Env) NewEngine(seed int64) *sim.Engine {
-	return v.probe.Observe(sim.NewEngine(seed))
+	e := v.probe.Observe(sim.NewEngine(seed))
+	if v.checker != nil {
+		v.checker.Attach(e)
+	}
+	return e
 }
 
 // Stats snapshots the kernel counters of every engine this run created.
 func (v *Env) Stats() sim.Stats { return v.probe.Stats() }
+
+// InvariantErr reports the first named invariant violation observed by
+// this run's checker (nil when disarmed or clean).
+func (v *Env) InvariantErr() error {
+	if v.checker == nil {
+		return nil
+	}
+	return v.checker.Err()
+}
+
+// InvariantViolations returns the accumulated violations (empty when
+// disarmed or clean).
+func (v *Env) InvariantViolations() []invariant.Violation {
+	if v.checker == nil {
+		return nil
+	}
+	return v.checker.Violations()
+}
 
 // Runner executes an experiment in a run environment.
 type Runner func(env *Env) (Result, error)
@@ -109,7 +147,14 @@ func RunEnv(id string, env *Env) (Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return r(env)
+	res, err := r(env)
+	if err != nil {
+		return res, err
+	}
+	if verr := env.InvariantErr(); verr != nil {
+		return res, fmt.Errorf("exp %s: %w", id, verr)
+	}
+	return res, nil
 }
 
 // header renders a report header line.

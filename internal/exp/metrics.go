@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+)
+
+// volatileMetrics lists metric keys that depend on wall-clock measurement
+// rather than virtual time, per experiment id. They are excluded from
+// Metrics so golden fixtures stay machine-independent. The telemetry
+// experiment is the only one whose *reported metrics* use the wall clock
+// (ingest rate, query speedup); its simulated behaviour is still seeded.
+var volatileMetrics = map[string][]string{
+	"telemetry": {"PointsPerMinute", "QuerySpeedup"},
+}
+
+// Metrics flattens a Result into named scalar metrics for regression
+// comparison: every exported numeric field, recursively, keyed by its
+// field path (slice elements by index). Durations are reported in
+// seconds, booleans as 0/1. Strings, maps, and anything behind a pointer
+// or interface (e.g. full trace series) are excluded — fixtures capture
+// headline numbers, not bulk data. Wall-clock-dependent metrics listed in
+// volatileMetrics are removed.
+func Metrics(r Result) map[string]float64 {
+	out := make(map[string]float64)
+	v := reflect.ValueOf(r)
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return out
+		}
+		v = v.Elem()
+	}
+	flattenMetrics(v, "", out)
+	for _, k := range volatileMetrics[r.ID()] {
+		delete(out, k)
+	}
+	return out
+}
+
+var durationType = reflect.TypeOf(time.Duration(0))
+
+// flattenMetrics walks v, appending scalar leaves to out under prefix.
+func flattenMetrics(v reflect.Value, prefix string, out map[string]float64) {
+	if v.Type() == durationType {
+		out[prefix] = time.Duration(v.Int()).Seconds()
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		out[prefix] = float64(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		out[prefix] = float64(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		out[prefix] = v.Float()
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			flattenMetrics(v.Field(i), joinMetricKey(prefix, f.Name), out)
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			flattenMetrics(v.Index(i), joinMetricKey(prefix, fmt.Sprintf("%d", i)), out)
+		}
+	default:
+		// Pointers, interfaces, strings, maps, funcs: not fixture data.
+	}
+}
+
+// joinMetricKey joins a path prefix and a component with a dot.
+func joinMetricKey(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
+}

@@ -250,7 +250,13 @@ func RunTier2(env *Env) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	simA, err := power.SimulateAvailability(d, 200*365*24*time.Hour, sim.NewRNG(seed))
+	// Thread the run environment's engine into the failure-injection
+	// simulation so its events count in harness stats and the invariant
+	// checker observes it. Burn one Int63 draw on the engine seed exactly
+	// as the SimulateAvailability wrapper would, keeping the random
+	// stream (and therefore the measured availability) identical.
+	rng := sim.NewRNG(seed)
+	simA, err := power.SimulateAvailabilityOn(env.NewEngine(rng.Int63()), d, 200*365*24*time.Hour, rng)
 	if err != nil {
 		return nil, err
 	}

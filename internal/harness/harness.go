@@ -36,6 +36,10 @@ type Config struct {
 	Reps int
 	// Parallel is the worker count (min 1; 0 means GOMAXPROCS).
 	Parallel int
+	// DisarmInvariants turns off the runtime physical-law checker that
+	// every job otherwise runs with (see internal/invariant). The zero
+	// value keeps invariants armed.
+	DisarmInvariants bool
 }
 
 // normalize applies the documented defaults.
@@ -119,7 +123,7 @@ func Run(cfg Config) ([]Summary, error) {
 			defer wg.Done()
 			for i := range next {
 				j := jobs[i]
-				results[i] = runJob(j.id, j.seed, j.rep)
+				results[i] = runJob(j.id, j.seed, j.rep, cfg.DisarmInvariants)
 			}
 		}()
 	}
@@ -149,8 +153,11 @@ func Run(cfg Config) ([]Summary, error) {
 
 // runJob executes one (experiment, seed) pair in a fresh environment and
 // captures the instrumentation the engines accumulated.
-func runJob(id string, seed int64, rep int) JobResult {
+func runJob(id string, seed int64, rep int, disarm bool) JobResult {
 	env := exp.NewEnv(seed)
+	if disarm {
+		env.DisarmInvariants()
+	}
 	start := time.Now()
 	res, err := exp.RunEnv(id, env)
 	wall := time.Since(start)

@@ -80,6 +80,61 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestSeedReproducibleAcrossRuns: the same configuration run twice in
+// the same process yields byte-identical reports and kernel counters —
+// reproducibility is not just worker-count independence but freedom
+// from any cross-run state.
+func TestSeedReproducibleAcrossRuns(t *testing.T) {
+	cfg := Config{IDs: fastIDs, BaseSeed: 3, Reps: 2, Parallel: 4}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		for r := range first[i].Reps {
+			a, b := first[i].Reps[r], second[i].Reps[r]
+			if a.Report != b.Report {
+				t.Errorf("%s seed %d: report differs between identical runs", a.ID, a.Seed)
+			}
+			if a.Events != b.Events || a.PeakPending != b.PeakPending || a.Engines != b.Engines {
+				t.Errorf("%s seed %d: kernel counters differ between identical runs", a.ID, a.Seed)
+			}
+		}
+	}
+}
+
+// TestInvariantsObservational: arming the physical-law checker must not
+// change a single byte of any result — it observes the simulation, it
+// never steers it. A divergence here means the checker mutated state
+// (e.g. forced a server sync) and every armed run is suspect.
+func TestInvariantsObservational(t *testing.T) {
+	cfg := Config{IDs: fastIDs, BaseSeed: 11, Reps: 2, Parallel: 4}
+	armed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisarmInvariants = true
+	disarmed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range armed {
+		for r := range armed[i].Reps {
+			a, b := armed[i].Reps[r], disarmed[i].Reps[r]
+			if a.Report != b.Report {
+				t.Errorf("%s seed %d: report differs armed vs disarmed", a.ID, a.Seed)
+			}
+			if a.Events != b.Events || a.PeakPending != b.PeakPending || a.Engines != b.Engines {
+				t.Errorf("%s seed %d: kernel counters differ armed vs disarmed", a.ID, a.Seed)
+			}
+		}
+	}
+}
+
 func TestSeedReplicationsDiffer(t *testing.T) {
 	// Stochastic experiments must actually vary across seeds, otherwise
 	// the aggregates are theater. oversub draws per-server power samples.

@@ -261,6 +261,12 @@ type Topology struct {
 	UPSes []*Node
 	PDUs  []*Node
 	Racks []*Node
+	// Oversubscription records the sizing factor the tree was built
+	// with: 1.0 means every tier carries its children at worst case, >1
+	// means upstream tiers are deliberately undersized (§3.1) and
+	// overloads are an accepted operating risk rather than a physics
+	// violation.
+	Oversubscription float64
 }
 
 // TopologyConfig sizes a canonical tree.
@@ -295,7 +301,7 @@ func NewTopology(cfg TopologyConfig) (*Topology, error) {
 	if err != nil {
 		return nil, err
 	}
-	topo := &Topology{Feed: feed}
+	topo := &Topology{Feed: feed, Oversubscription: cfg.Oversubscription}
 	for u := 0; u < cfg.UPSCount; u++ {
 		ups, err := NewNode(fmt.Sprintf("ups-%d", u), KindUPS, upsRated, DefaultUPSLoss)
 		if err != nil {

@@ -348,6 +348,13 @@ func (s *Server) AvailableCapacity() float64 {
 // EnergyJ reports the energy consumed so far (through the last advance).
 func (s *Server) EnergyJ() float64 { return s.energyJ }
 
+// LastSyncAt reports the instant through which energy has been integrated
+// (the time of the last advance). External observers — e.g. the invariant
+// checker — use it to reconcile EnergyJ against the power history without
+// forcing a Sync of their own, which would perturb floating-point grouping
+// relative to an unobserved run.
+func (s *Server) LastSyncAt() time.Duration { return s.lastAt }
+
 // SetUtilization assigns the utilization of available capacity at now.
 // Values are clamped to [0,1]. Assigning utilization to a non-active
 // server is a no-op (it has no capacity).

@@ -72,6 +72,14 @@ type Engine struct {
 	// peakPending is the high-water mark of the event queue, exposed for
 	// harness statistics.
 	peakPending int
+	// afterEvent hooks run after every fired event, in registration
+	// order. Runtime invariant checkers ride this hook.
+	afterEvent []Handler
+	// components holds substrate objects attached to this engine so
+	// cross-cutting observers (invariant checkers, probes) can discover
+	// what the simulation is made of without the substrates importing
+	// them.
+	components []any
 }
 
 // NewEngine builds an engine whose random source is seeded with seed.
@@ -100,6 +108,34 @@ func (e *Engine) push(ev *event) {
 	heap.Push(&e.queue, ev)
 	if len(e.queue) > e.peakPending {
 		e.peakPending = len(e.queue)
+	}
+}
+
+// AfterEvent registers fn to run after every fired event, in registration
+// order, with the clock still at the event's firing time. Hooks observe —
+// they may read any component state — but must not schedule events or
+// mutate substrates, or determinism relative to an unhooked engine is
+// lost. The invariant checker layer rides this hook.
+func (e *Engine) AfterEvent(fn Handler) {
+	e.afterEvent = append(e.afterEvent, fn)
+}
+
+// Register attaches a substrate component (fleet, cooling room, power
+// topology, …) to the engine so cross-cutting observers can enumerate the
+// simulation's parts via Components. Registration has no behavioural
+// effect on the simulation itself.
+func (e *Engine) Register(c any) {
+	e.components = append(e.components, c)
+}
+
+// Components returns the registered substrate components in registration
+// order. Callers must not mutate the returned slice.
+func (e *Engine) Components() []any { return e.components }
+
+// fireHooks invokes the after-event hooks for one fired event.
+func (e *Engine) fireHooks() {
+	for _, h := range e.afterEvent {
+		h(e)
 	}
 }
 
@@ -213,6 +249,7 @@ func (e *Engine) Run(horizon time.Duration) error {
 		e.now = next.at
 		e.processed++
 		next.fn(e)
+		e.fireHooks()
 	}
 	if e.stopped {
 		return ErrStopped
@@ -232,6 +269,7 @@ func (e *Engine) Step() bool {
 		e.now = next.at
 		e.processed++
 		next.fn(e)
+		e.fireHooks()
 		return true
 	}
 	return false

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestDescribeIdenticalSamplesExact: K copies of a dyadic-rational value
+// sum and average without rounding, so Describe must report stddev
+// exactly zero and mean exactly equal to min and max. This pins the
+// harness aggregation contract: replications that agree perfectly must
+// never show phantom spread.
+func TestDescribeIdenticalSamplesExact(t *testing.T) {
+	prop := func(raw float64, k uint8) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		// Quantize to an integer small enough that 255 copies sum
+		// exactly in float64.
+		x := math.Trunc(math.Remainder(raw, 1<<40))
+		n := int(k) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = x
+		}
+		d, err := Describe(xs)
+		if err != nil {
+			return false
+		}
+		return d.N == n && d.Mean == x && d.Min == x && d.Max == x && d.StdDev == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDescribeIdenticalSamplesArbitrary: for arbitrary (non-dyadic)
+// values the mean of K identical samples can round (e.g. mean of three
+// 0.1s), so the contract weakens to ulp-scale agreement — min and max
+// stay exact, and the spread stays far below anything a real experiment
+// difference would produce.
+func TestDescribeIdenticalSamplesArbitrary(t *testing.T) {
+	prop := func(raw float64, k uint8) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		x := math.Remainder(raw, 1e150)
+		n := int(k) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = x
+		}
+		d, err := Describe(xs)
+		if err != nil {
+			return false
+		}
+		scale := math.Abs(x)
+		return d.Min == x && d.Max == x &&
+			math.Abs(d.Mean-x) <= 1e-12*scale &&
+			d.StdDev <= 1e-12*scale
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDescribeMatchesRunning: the streaming accumulator and the batch
+// summary must agree on identical inputs — the harness uses both.
+func TestDescribeMatchesRunning(t *testing.T) {
+	xs := []float64{3.5, -1.25, 0, 7.75, 3.5, 2.125}
+	d, err := Describe(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if d.N != r.N() || d.Min != r.Min() || d.Max != r.Max() {
+		t.Fatalf("Describe %+v disagrees with Running n=%d min=%v max=%v", d, r.N(), r.Min(), r.Max())
+	}
+	if math.Abs(d.Mean-r.Mean()) > 1e-12 || math.Abs(d.StdDev-r.StdDev()) > 1e-12 {
+		t.Fatalf("Describe mean/stddev %v/%v vs Running %v/%v", d.Mean, d.StdDev, r.Mean(), r.StdDev())
+	}
+}

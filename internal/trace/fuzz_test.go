@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// clampFuzz maps an arbitrary fuzzed float into [lo, hi], treating NaN
+// as lo so every input exercises the generator instead of the validator.
+func clampFuzz(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// assertSeriesPhysical fails if any sample is non-finite or negative —
+// the baseline physical-law contract for every generated demand series.
+func assertSeriesPhysical(t *testing.T, name string, s *Series) {
+	t.Helper()
+	for i, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s[%d] = %v, want finite", name, i, v)
+		}
+		if v < 0 {
+			t.Fatalf("%s[%d] = %v, want non-negative", name, i, v)
+		}
+	}
+}
+
+// FuzzGenerateMessenger drives the Figure-3 workload generator across
+// the configuration space: every accepted configuration must yield
+// finite, non-negative series normalized so the maximum equals the
+// configured peak, with flash crowds inside the horizon.
+func FuzzGenerateMessenger(f *testing.F) {
+	f.Add(int64(1), uint16(7*24), uint16(1), 0.35, 0.82, 3.5, 0.02, 1400.0, 1e6)
+	f.Add(int64(2), uint16(24), uint16(15), 0.1, 1.0, 1.0, 0.0, 100.0, 1000.0)
+	f.Add(int64(3), uint16(1), uint16(60), 1.0, 0.01, 50.0, 1.0, 0.0, 0.0)
+	f.Add(int64(-9), uint16(336), uint16(5), 0.5, 0.5, 10.0, 0.5, 1e9, 1e12)
+	f.Fuzz(func(t *testing.T, seed int64, hours, stepMin uint16, night, weekend, flashMag, noiseSD, peakLogin, peakConns float64) {
+		cfg := DefaultMessengerConfig()
+		cfg.Duration = time.Duration(1+int(hours)%(14*24)) * time.Hour
+		cfg.Step = time.Duration(1+int(stepMin)%60) * time.Minute
+		cfg.NightFraction = clampFuzz(night, 0.01, 1)
+		cfg.WeekendFactor = clampFuzz(weekend, 0.01, 1)
+		cfg.FlashMagnitude = clampFuzz(flashMag, 1, 50)
+		cfg.NoiseSD = clampFuzz(noiseSD, 0, 1)
+		cfg.PeakLoginRate = clampFuzz(peakLogin, 0, 1e9)
+		cfg.PeakConnections = clampFuzz(peakConns, 0, 1e12)
+
+		m, err := GenerateMessenger(cfg, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatalf("clamped config rejected: %v", err)
+		}
+		for series, peak := range map[*Series]float64{
+			m.Logins:      cfg.PeakLoginRate,
+			m.Connections: cfg.PeakConnections,
+		} {
+			assertSeriesPhysical(t, "series", series)
+			if max := series.Max(); max > peak*(1+1e-9) {
+				t.Fatalf("max %v exceeds configured peak %v", max, peak)
+			} else if max > 0 && math.Abs(max-peak) > 1e-9*peak {
+				t.Fatalf("normalized max %v != peak %v", max, peak)
+			}
+		}
+		for _, ft := range m.FlashTimes {
+			if ft < 0 || ft >= cfg.Duration {
+				t.Fatalf("flash crowd at %v outside horizon %v", ft, cfg.Duration)
+			}
+		}
+	})
+}
+
+// FuzzGenerateSurge drives the Animoto-style surge generator: output is
+// always finite and non-negative, and with noise disabled it never
+// exceeds the larger of the configured peak and settle levels.
+func FuzzGenerateSurge(f *testing.F) {
+	f.Add(int64(1), 50.0, 3500.0, 400.0, 0.03, uint16(240), uint16(10))
+	f.Add(int64(2), 0.001, 0.001, 0.0, 0.0, uint16(1), uint16(120))
+	f.Add(int64(5), 1.0, 1e6, 2e6, 1.0, uint16(480), uint16(30))
+	f.Fuzz(func(t *testing.T, seed int64, baseline, peak, settle, noiseSD float64, hours, stepMin uint16) {
+		cfg := DefaultSurgeConfig()
+		cfg.Duration = time.Duration(1+int(hours)%(20*24)) * time.Hour
+		cfg.Step = time.Duration(1+int(stepMin)%120) * time.Minute
+		cfg.Baseline = clampFuzz(baseline, 0.001, 1e6)
+		cfg.Peak = clampFuzz(peak, cfg.Baseline, 1e9)
+		cfg.Settle = clampFuzz(settle, 0, 1e9)
+		cfg.NoiseSD = clampFuzz(noiseSD, 0, 1)
+
+		s, err := GenerateSurge(cfg, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatalf("clamped config rejected: %v", err)
+		}
+		assertSeriesPhysical(t, "surge", s)
+
+		// The noise multiplier is unbounded above, so the peak bound is a
+		// property of the deterministic envelope only.
+		quiet := cfg
+		quiet.NoiseSD = 0
+		q, err := GenerateSurge(quiet, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatalf("noise-free config rejected: %v", err)
+		}
+		assertSeriesPhysical(t, "quiet surge", q)
+		bound := math.Max(cfg.Peak, cfg.Settle)
+		if max := q.Max(); max > bound*(1+1e-9) {
+			t.Fatalf("noise-free surge max %v exceeds envelope %v", max, bound)
+		}
+		if min := q.Min(); len(q.Values) > 0 && min < math.Min(cfg.Baseline, cfg.Settle)*(1-1e-9) {
+			t.Fatalf("noise-free surge min %v below floor %v", min, math.Min(cfg.Baseline, cfg.Settle))
+		}
+	})
+}
+
+// FuzzParseCSV feeds the workload parser arbitrary text: it must never
+// panic, never accept a non-physical series (non-positive step,
+// non-finite values), and anything it accepts must survive a
+// render-and-reparse round trip.
+func FuzzParseCSV(f *testing.F) {
+	mess, err := GenerateMessenger(DefaultMessengerConfig(), sim.NewRNG(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mess.Logins.Window(0, 2*time.Hour).CSV("logins"))
+	f.Add("seconds,demand\n0,50\n600,3500\n1200,400\n")
+	f.Add("seconds,x\n0,1\n")
+	f.Add("seconds,x\n")
+	f.Add("seconds,x\n0,NaN\n")
+	f.Add("seconds,x\n0,1\n1,2\n3,3\n")
+	f.Add("not,a,csv\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		s, name, err := ParseCSV(data)
+		if err != nil {
+			return
+		}
+		if s.Step <= 0 {
+			t.Fatalf("accepted step %v, want positive", s.Step)
+		}
+		if name == "" {
+			t.Fatal("accepted empty series name")
+		}
+		assertSeriesPhysicalSigned(t, s)
+
+		s2, name2, err := ParseCSV(s.CSV(name))
+		if err != nil {
+			t.Fatalf("re-parse of rendered CSV failed: %v", err)
+		}
+		if name2 != name {
+			t.Fatalf("name round trip: %q != %q", name2, name)
+		}
+		if len(s.Values) > 1 && s2.Step != s.Step {
+			t.Fatalf("step round trip: %v != %v", s2.Step, s.Step)
+		}
+		if len(s2.Values) != len(s.Values) {
+			t.Fatalf("length round trip: %d != %d", len(s2.Values), len(s.Values))
+		}
+		for i := range s.Values {
+			// CSV prints %.6g, so the round trip is only that precise.
+			a, b := s.Values[i], s2.Values[i]
+			if math.Abs(a-b) > 1e-5*math.Max(math.Abs(a), math.Abs(b)) {
+				t.Fatalf("value[%d] round trip: %v != %v", i, a, b)
+			}
+		}
+	})
+}
+
+// assertSeriesPhysicalSigned checks finiteness only: ParseCSV accepts
+// signed series (temperature traces go below zero), unlike the demand
+// generators.
+func assertSeriesPhysicalSigned(t *testing.T, s *Series) {
+	t.Helper()
+	for i, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("parsed value[%d] = %v, want finite", i, v)
+		}
+	}
+}
+
+// TestParseCSVRoundTrip pins the deterministic inverse property on real
+// generator output (whole-second steps).
+func TestParseCSVRoundTrip(t *testing.T) {
+	surge, err := GenerateSurge(DefaultSurgeConfig(), sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, name, err := ParseCSV(surge.CSV("servers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "servers" {
+		t.Errorf("name = %q, want servers", name)
+	}
+	if got.Step != surge.Step {
+		t.Errorf("step = %v, want %v", got.Step, surge.Step)
+	}
+	if got.Len() != surge.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), surge.Len())
+	}
+	for i := range surge.Values {
+		a, b := surge.Values[i], got.Values[i]
+		if math.Abs(a-b) > 1e-5*math.Abs(a) {
+			t.Fatalf("value[%d]: %v != %v", i, a, b)
+		}
+	}
+}
+
+// TestParseCSVRejects enumerates the malformed inputs the parser must
+// refuse, each with a distinct cause.
+func TestParseCSVRejects(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad-header", "time,x\n0,1\n"},
+		{"unnamed", "seconds,\n0,1\n"},
+		{"no-comma", "seconds,x\n01\n"},
+		{"bad-timestamp", "seconds,x\nzero,1\n"},
+		{"bad-value", "seconds,x\n0,one\n"},
+		{"nan-value", "seconds,x\n0,NaN\n"},
+		{"inf-value", "seconds,x\n0,+Inf\n"},
+		{"nonzero-start", "seconds,x\n5,1\n10,2\n"},
+		{"non-increasing", "seconds,x\n0,1\n0,2\n"},
+		{"uneven-spacing", "seconds,x\n0,1\n60,2\n180,3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ParseCSV(tc.in); err == nil {
+				t.Fatalf("ParseCSV(%q) accepted malformed input", tc.in)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// maxStepSec caps the parsed sampling interval so the time.Duration
+// conversion below cannot overflow (about 292 years of nanoseconds).
+const maxStepSec = int64(math.MaxInt64) / int64(time.Second)
+
+// ParseCSV parses a series previously rendered by Series.CSV: a
+// "seconds,<name>" header followed by one "seconds,value" line per
+// sample, starting at second 0 with uniform whole-second spacing. It is
+// the inverse of CSV for any series whose step is a whole number of
+// seconds, up to the %.6g precision CSV prints. It returns the series
+// and the header's column name.
+//
+// Non-finite values, non-uniform or non-monotonic timestamps, and
+// malformed lines are rejected, so downstream consumers (experiment
+// loaders replaying an exported figure) never see physically impossible
+// demand.
+func ParseCSV(data string) (*Series, string, error) {
+	lines := strings.Split(data, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1] // CSV ends with a trailing newline
+	}
+	if len(lines) == 0 {
+		return nil, "", fmt.Errorf("trace: empty CSV")
+	}
+	const prefix = "seconds,"
+	if !strings.HasPrefix(lines[0], prefix) {
+		return nil, "", fmt.Errorf("trace: CSV header %q must start with %q", lines[0], prefix)
+	}
+	name := lines[0][len(prefix):]
+	if name == "" {
+		return nil, "", fmt.Errorf("trace: CSV header names no series")
+	}
+	vals := make([]float64, 0, len(lines)-1)
+	var stepSec int64
+	for i, ln := range lines[1:] {
+		secField, valField, ok := strings.Cut(ln, ",")
+		if !ok {
+			return nil, "", fmt.Errorf("trace: CSV line %d: %q is not seconds,value", i+2, ln)
+		}
+		sec, err := strconv.ParseInt(secField, 10, 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("trace: CSV line %d: bad timestamp %q", i+2, secField)
+		}
+		v, err := strconv.ParseFloat(valField, 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("trace: CSV line %d: bad value %q", i+2, valField)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, "", fmt.Errorf("trace: CSV line %d: non-finite value %v", i+2, v)
+		}
+		switch i {
+		case 0:
+			if sec != 0 {
+				return nil, "", fmt.Errorf("trace: CSV must start at second 0, got %d", sec)
+			}
+		case 1:
+			if sec <= 0 || sec > maxStepSec {
+				return nil, "", fmt.Errorf("trace: CSV step %d s out of range", sec)
+			}
+			stepSec = sec
+		default:
+			if sec != int64(i)*stepSec {
+				return nil, "", fmt.Errorf("trace: CSV line %d: timestamp %d breaks uniform %d s spacing", i+2, sec, stepSec)
+			}
+		}
+		vals = append(vals, v)
+	}
+	step := time.Second
+	if stepSec > 0 {
+		step = time.Duration(stepSec) * time.Second
+	}
+	return &Series{Step: step, Values: vals}, name, nil
+}

@@ -60,6 +60,10 @@ func GenerateSurge(cfg SurgeConfig, rng *sim.RNG) (*Series, error) {
 	switch {
 	case cfg.Duration <= 0 || cfg.Step <= 0:
 		return nil, fmt.Errorf("trace: surge duration/step must be positive")
+	case cfg.Baseline <= 0:
+		// The ramp multiplies demand at a constant rate from the
+		// baseline; growth from zero is undefined (0·(Peak/0)^frac).
+		return nil, fmt.Errorf("trace: surge baseline %v must be positive", cfg.Baseline)
 	case cfg.Peak < cfg.Baseline:
 		return nil, fmt.Errorf("trace: surge peak %v below baseline %v", cfg.Peak, cfg.Baseline)
 	case cfg.RampDuration <= 0:

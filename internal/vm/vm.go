@@ -208,6 +208,25 @@ func (h *Host) CPUPeak() float64 {
 	return peak
 }
 
+// CheckInvariants verifies the host's physical constraints: placed
+// reservations fit inside capacity and the contention factor is a valid
+// fraction. It satisfies the invariant layer's Checkable interface (the
+// time argument is unused because hosts carry no clock of their own).
+func (h *Host) CheckInvariants(_ time.Duration) error {
+	used := h.Used()
+	if !used.Fits(h.Capacity) {
+		return fmt.Errorf("vm: host %s overcommitted: used %+v exceeds capacity %+v",
+			h.Name, used, h.Capacity)
+	}
+	if used.CPU < 0 || used.MemGB < 0 || used.DiskIOPS < 0 {
+		return fmt.Errorf("vm: host %s has negative usage %+v", h.Name, used)
+	}
+	if f := h.DiskThroughputFactor(); f <= 0 || f > 1 || math.IsNaN(f) {
+		return fmt.Errorf("vm: host %s disk throughput factor %v out of (0,1]", h.Name, f)
+	}
+	return nil
+}
+
 // ioHeavy reports whether a VM counts as disk-IO-intensive on this host.
 func (h *Host) ioHeavy(v *VM) bool {
 	if h.Capacity.DiskIOPS <= 0 {
