@@ -68,6 +68,9 @@ func run(args []string, out io.Writer) error {
 		DisarmInvariants: !*invariants,
 	}
 	if *id != "" {
+		if !exp.Known(*id) {
+			return fmt.Errorf("unknown experiment %q; valid ids: %s", *id, strings.Join(exp.IDs(), ", "))
+		}
 		cfg.IDs = []string{*id}
 	}
 	start := time.Now()

@@ -37,8 +37,18 @@ func TestSingleExperiment(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "nope"}, &b); err == nil {
-		t.Error("unknown experiment should error")
+	err := run([]string{"-exp", "nope"}, &b)
+	if err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	// The rejection happens upfront and names the valid set.
+	for _, id := range []string{"nope", "fig1", "fault-outage", "tier2"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error %q does not mention %q", err, id)
+		}
+	}
+	if b.Len() != 0 {
+		t.Errorf("unknown experiment still produced output:\n%s", b.String())
 	}
 }
 

@@ -1,0 +1,126 @@
+package cooling
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// steadyTwoZone runs a loaded two-zone room to a warm steady state.
+func steadyTwoZone(t *testing.T) (*sim.Engine, *Room) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	room, err := TwoZoneRoom(0.8, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	room.Attach(e)
+	if err := room.SetZoneHeat(0, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := room.SetZoneHeat(1, 15_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(4 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return e, room
+}
+
+func TestFailedUnitRampsZonesAndSuspendsControl(t *testing.T) {
+	e, room := steadyTwoZone(t)
+	inletBefore := room.ZoneInletC(0)
+	supplyBefore := room.CRACSupplyC(0)
+	adjBefore := room.CRACAdjustments(0)
+	setpointBefore := room.CRACSetpointC(0)
+
+	if err := room.SetUnitFailed(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if !room.UnitFailed(0) || room.FailedUnits() != 1 {
+		t.Fatal("failure flag not set")
+	}
+	if err := e.Run(e.Now() + 4*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if supply := room.CRACSupplyC(0); supply <= supplyBefore+3 {
+		t.Fatalf("dead coil supply %v should drift well above %v", supply, supplyBefore)
+	}
+	if inlet := room.ZoneInletC(0); inlet <= inletBefore+2 {
+		t.Fatalf("zone inlet %v should ramp above %v with the coil dead", inlet, inletBefore)
+	}
+	if room.CRACAdjustments(0) != adjBefore {
+		t.Fatal("failed unit's controller must be out of service")
+	}
+	if room.CRACSetpointC(0) != setpointBefore {
+		t.Fatal("failure must not move the setpoint")
+	}
+
+	// Repair: supply recovers back toward the setpoint.
+	if err := room.SetUnitFailed(0, false); err != nil {
+		t.Fatal(err)
+	}
+	failedSupply := room.CRACSupplyC(0)
+	if err := e.Run(e.Now() + 4*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if supply := room.CRACSupplyC(0); supply >= failedSupply-3 {
+		t.Fatalf("repaired supply %v should recover below %v", supply, failedSupply)
+	}
+	if room.FailedUnits() != 0 {
+		t.Fatal("failure flag not cleared")
+	}
+}
+
+func TestSetUnitFailedRange(t *testing.T) {
+	_, room := steadyTwoZone(t)
+	if err := room.SetUnitFailed(-1, true); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := room.SetUnitFailed(room.CRACs(), true); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestSetCRACSetpointClampsAndCounts(t *testing.T) {
+	_, room := steadyTwoZone(t)
+	cfg := room.UnitConfig(0)
+	adj := room.CRACAdjustments(0)
+	if err := room.SetCRACSetpoint(0, cfg.SupplyMinC-10); err != nil {
+		t.Fatal(err)
+	}
+	if got := room.CRACSetpointC(0); got != cfg.SupplyMinC {
+		t.Fatalf("setpoint %v, want clamped to %v", got, cfg.SupplyMinC)
+	}
+	if room.CRACAdjustments(0) != adj+1 {
+		t.Fatal("setpoint change must count as an adjustment")
+	}
+	if err := room.SetCRACSetpoint(0, cfg.SupplyMaxC+10); err != nil {
+		t.Fatal(err)
+	}
+	if got := room.CRACSetpointC(0); got != cfg.SupplyMaxC {
+		t.Fatalf("setpoint %v, want clamped to %v", got, cfg.SupplyMaxC)
+	}
+	// Re-applying the same value is not an adjustment.
+	adj = room.CRACAdjustments(0)
+	if err := room.SetCRACSetpoint(0, cfg.SupplyMaxC+10); err != nil {
+		t.Fatal(err)
+	}
+	if room.CRACAdjustments(0) != adj {
+		t.Fatal("no-op setpoint write counted as an adjustment")
+	}
+	if err := room.SetCRACSetpoint(7, 18); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestSensitivityAccessor(t *testing.T) {
+	_, room := steadyTwoZone(t)
+	if got := room.Sensitivity(0, 0); got != 0.8 {
+		t.Fatalf("Sensitivity(0,0) = %v, want 0.8", got)
+	}
+	if got := room.Sensitivity(1, 0); got != 0.4 {
+		t.Fatalf("Sensitivity(1,0) = %v, want 0.4", got)
+	}
+}

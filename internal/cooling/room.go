@@ -181,6 +181,11 @@ type crac struct {
 	returnC float64
 	// adjustments counts setpoint changes (oscillation diagnostics).
 	adjustments int
+	// failed marks a unit whose cooling coil is out of service (fault
+	// injection): the fan keeps moving air but the coil no longer chills
+	// it, so the supply drifts toward the return temperature with the
+	// coil's own lag and the zones it serves ramp hot.
+	failed bool
 }
 
 // Room is the thermal model. Advance it with Step on a fine tick and run
@@ -293,6 +298,56 @@ func (r *Room) CRACReturnC(c int) float64 { return r.cracs[c].returnC }
 // CRACAdjustments reports how many setpoint changes unit c has made.
 func (r *Room) CRACAdjustments(c int) int { return r.cracs[c].adjustments }
 
+// SetCRACSetpoint assigns the supply setpoint of unit c directly, clamped
+// to the unit's configured bounds. Supervisory controllers (e.g. a
+// sensor-map-driven loop above the unit's own return-air control) use
+// this as their actuation path.
+func (r *Room) SetCRACSetpoint(c int, v float64) error {
+	if c < 0 || c >= len(r.cracs) {
+		return fmt.Errorf("cooling: crac %d out of range", c)
+	}
+	u := r.cracs[c]
+	next := math.Max(u.cfg.SupplyMinC, math.Min(u.cfg.SupplyMaxC, v))
+	if next != u.setpoint {
+		u.setpoint = next
+		u.adjustments++
+	}
+	return nil
+}
+
+// SetUnitFailed marks CRAC unit c as failed or repairs it. A failed
+// unit's coil stops chilling — its supply drifts toward the return
+// temperature with the coil's lag — and its return-air control loop is
+// suspended until repair. Fan airflow is assumed to continue, so the
+// sensitivity coupling is unchanged; the plant simply loses that unit's
+// heat-rejection capacity.
+func (r *Room) SetUnitFailed(c int, failed bool) error {
+	if c < 0 || c >= len(r.cracs) {
+		return fmt.Errorf("cooling: crac %d out of range", c)
+	}
+	r.cracs[c].failed = failed
+	return nil
+}
+
+// UnitFailed reports whether CRAC unit c is currently failed.
+func (r *Room) UnitFailed(c int) bool { return r.cracs[c].failed }
+
+// FailedUnits reports how many CRAC units are currently failed.
+func (r *Room) FailedUnits() int {
+	n := 0
+	for _, c := range r.cracs {
+		if c.failed {
+			n++
+		}
+	}
+	return n
+}
+
+// Sensitivity reports the configured supply fraction zone z draws from
+// CRAC unit c — the zone×CRAC coupling observers (e.g. a load-shedding
+// controller deciding which zones a failed unit strands) need.
+func (r *Room) Sensitivity(z, c int) float64 { return r.cfg.Sensitivity[z][c] }
+
 // CoolingLoadW reports the total heat the plant is removing (for plant
 // power computation): the sum of all zone heats.
 func (r *Room) CoolingLoadW() float64 { return r.coolingLoadW }
@@ -309,7 +364,13 @@ func (r *Room) CoolingLoadW() float64 { return r.coolingLoadW }
 func (r *Room) Step() {
 	dt := r.cfg.PhysicsTick
 	for _, c := range r.cracs {
-		supply := c.coil.Step(c.setpoint, dt)
+		target := c.setpoint
+		if c.failed {
+			// Dead coil: the air passes through unchilled, so the
+			// delivered supply relaxes toward the return air.
+			target = c.returnC
+		}
+		supply := c.coil.Step(target, dt)
 		c.delayedSupply = c.delay.Step(supply)
 	}
 	var totalHeat float64
@@ -353,6 +414,9 @@ func (r *Room) Step() {
 // unit's bounds.
 func (r *Room) ControlTick(c int) {
 	u := r.cracs[c]
+	if u.failed {
+		return // a failed unit's controller is out of service too
+	}
 	filtered := u.deadband.Update(u.returnC)
 	err := filtered - u.cfg.ReturnTargetC
 	if err == 0 {

@@ -121,6 +121,11 @@ func registry() map[string]Runner {
 		"ablate-forecast":   RunAblateForecast,
 		"ablate-ladder":     RunAblateLadder,
 		"ablate-hysteresis": RunAblateHysteresis,
+		// Fault-response family: injected failures against the
+		// graceful-degradation layer.
+		"fault-outage": RunFaultOutage,
+		"fault-crac":   RunFaultCRAC,
+		"fault-sensor": RunFaultSensor,
 	}
 }
 
@@ -133,6 +138,12 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// Known reports whether id names a registered experiment.
+func Known(id string) bool {
+	_, ok := registry()[id]
+	return ok
 }
 
 // Run executes one experiment by id from a seed.

@@ -26,7 +26,8 @@ func run(t *testing.T, id string) Result {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablate-dc", "ablate-forecast", "ablate-hysteresis", "ablate-ladder",
-		"animoto", "capping", "consolidate", "crac", "distributed", "dvfs", "fig1",
+		"animoto", "capping", "consolidate", "crac", "distributed", "dvfs",
+		"fault-crac", "fault-outage", "fault-sensor", "fig1",
 		"fig2", "fig3", "fig4", "geo", "hetero", "idle60", "interfere", "oversub",
 		"parking", "pathology", "pue2", "sensornet", "telemetry", "tier2",
 		"tiers",

@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/power"
+	"repro/internal/sensornet"
+	"repro/internal/sim"
+)
+
+func TestFaultOutageShape(t *testing.T) {
+	r := run(t, "fault-outage").(FaultOutageResult)
+	// With the generator starting on the first try the UPS bridges the
+	// start delay and nothing is lost or shed.
+	if r.RideThrough.BridgedKWh <= 0 {
+		t.Error("ride-through must draw bridge energy from the UPS")
+	}
+	if r.RideThrough.UnservedKWh != 0 {
+		t.Errorf("ride-through unserved %.3f kWh, want 0", r.RideThrough.UnservedKWh)
+	}
+	if r.RideThrough.SurvivalSheds != 0 || r.RideThrough.ShedServers != 0 {
+		t.Error("ride-through must not shed load")
+	}
+	if r.RideThrough.GenAttempts != 1 || r.RideThrough.GenFailures != 0 {
+		t.Errorf("ride-through generator %d/%d failed/attempts, want 0/1",
+			r.RideThrough.GenFailures, r.RideThrough.GenAttempts)
+	}
+	// Redundancy loss engages emergency caps in both scenarios, and the
+	// caps sit below the dispatch draw so throttling must bite.
+	if r.RideThrough.CapEvents != 1 || r.GenFail.CapEvents != 1 {
+		t.Errorf("cap events %d/%d, want 1 each", r.RideThrough.CapEvents, r.GenFail.CapEvents)
+	}
+	if r.RideThrough.ThrottleEvents == 0 {
+		t.Error("emergency caps engaged but nothing throttled")
+	}
+	// When every start attempt fails the store runs dry: load is shed
+	// to the survival fraction and the remainder goes unserved.
+	if r.GenFail.GenAttempts != 3 || r.GenFail.GenFailures != 3 {
+		t.Errorf("gen-fail generator %d/%d failed/attempts, want 3/3",
+			r.GenFail.GenFailures, r.GenFail.GenAttempts)
+	}
+	if r.GenFail.UnservedKWh <= 0 {
+		t.Error("gen-fail scenario must record unserved energy")
+	}
+	if r.GenFail.SurvivalSheds != 1 || r.GenFail.ShedServers == 0 {
+		t.Errorf("gen-fail sheds %d (%d servers), want a survival shed",
+			r.GenFail.SurvivalSheds, r.GenFail.ShedServers)
+	}
+	if r.GenFail.FinalOn >= r.RideThrough.FinalOn {
+		t.Errorf("gen-fail ends with %d on vs ride-through %d, want fewer",
+			r.GenFail.FinalOn, r.RideThrough.FinalOn)
+	}
+	if r.GenFail.BatteryMinFrac > 1e-6 {
+		t.Errorf("gen-fail battery min fraction %.3f, want depleted", r.GenFail.BatteryMinFrac)
+	}
+	if r.RideThrough.BatteryMinFrac <= 0.1 {
+		t.Errorf("ride-through battery min fraction %.3f, want a healthy reserve",
+			r.RideThrough.BatteryMinFrac)
+	}
+}
+
+func TestFaultCRACShape(t *testing.T) {
+	r := run(t, "fault-crac").(FaultCRACResult)
+	if r.Unmanaged.Trips == 0 {
+		t.Error("unmanaged CRAC failure must trip thermal protection")
+	}
+	if r.Managed.Trips >= r.Unmanaged.Trips {
+		t.Errorf("managed trips %d vs unmanaged %d, want fewer", r.Managed.Trips, r.Unmanaged.Trips)
+	}
+	if r.Managed.MaxInletC >= r.Unmanaged.MaxInletC {
+		t.Errorf("managed max inlet %.1f vs unmanaged %.1f, want cooler",
+			r.Managed.MaxInletC, r.Unmanaged.MaxInletC)
+	}
+	if r.DVFSDowns == 0 {
+		t.Error("shedding ladder never engaged DVFS")
+	}
+	if r.ShedServers == 0 && r.Consolidations > 0 {
+		t.Error("consolidation counted but no servers shed")
+	}
+}
+
+func TestFaultSensorShape(t *testing.T) {
+	r := run(t, "fault-sensor").(FaultSensorResult)
+	if r.Naive.BlindRounds == 0 || r.Guarded.BlindRounds == 0 {
+		t.Error("the blackout window must produce blind rounds in both modes")
+	}
+	if r.FailsafeRounds == 0 {
+		t.Error("guarded mode never reached the fail-safe posture")
+	}
+	if r.FallbackRounds == 0 {
+		t.Error("guard never replayed last-good telemetry")
+	}
+	// Fail-safe cooling keeps the blind surge cooler than coasting.
+	if r.Guarded.MaxInletC >= r.Naive.MaxInletC {
+		t.Errorf("guarded max inlet %.1f vs naive %.1f, want cooler",
+			r.Guarded.MaxInletC, r.Naive.MaxInletC)
+	}
+	if r.Guarded.AlarmRounds > r.Naive.AlarmRounds {
+		t.Errorf("guarded alarm rounds %d vs naive %d", r.Guarded.AlarmRounds, r.Naive.AlarmRounds)
+	}
+	// Stuck sensors deliver on time but lie: reconstruction error must
+	// be visibly worse than the healthy noise floor.
+	if r.StuckRMSE <= r.HealthyRMSE {
+		t.Errorf("stuck RMSE %.2f vs healthy %.2f, want worse", r.StuckRMSE, r.HealthyRMSE)
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	for _, id := range []string{"fault-outage", "fault-sensor"} {
+		a, err := Run(id, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Report() != b.Report() {
+			t.Errorf("same seed produced different %s reports", id)
+		}
+	}
+}
+
+// TestChaosSoak arms a randomized fault program — outages, CRAC
+// failures, crashes, sensor faults — against a managed facility and
+// asserts the physical-law invariants hold all the way through, for
+// several seeds.
+func TestChaosSoak(t *testing.T) {
+	const horizon = 12 * time.Hour
+	for seed := int64(1); seed <= 5; seed++ {
+		env := NewEnv(seed)
+		e := env.NewEngine(seed)
+		dc, err := outageFacility(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc.Fleet().SetTarget(dc.Fleet().Size())
+		if err := e.Run(2 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		dc.Fleet().Dispatch(e.Now(), 0.6*float64(dc.Fleet().Size())*1000)
+		deg, err := core.NewDegrader(e, dc, core.DegraderConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg.Start()
+		net, err := sensornet.NewNetwork(
+			sensornet.DefaultNetworkConfig(dc.Room().Zones()), e.RNG().Fork("sensors"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Every(time.Minute, func(eng *sim.Engine) {
+			net.Collect(func(z int) float64 { return dc.Room().ZoneInletC(z) })
+		})
+		in := fault.NewInjector(e)
+		in.WireRoom(dc.Room())
+		in.WireServers(dc.Fleet().Servers())
+		in.WireSensors(net)
+		bat, err := power.BatteryForAutonomy(dc.ITPowerW(), 5*time.Minute, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.WireUtility(fault.UtilityConfig{
+			Battery:          bat,
+			LoadW:            func() float64 { return dc.Flow().OutW },
+			GenStartDelay:    2 * time.Minute,
+			GenStartFailProb: 0.3,
+			GenRetries:       2,
+			GenRetryBackoff:  time.Minute,
+			Tick:             10 * time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		in.Subscribe(deg.OnNotice)
+		events, err := fault.GenerateSchedule(e.RNG().Fork("chaos"), fault.ScheduleConfig{
+			Horizon:     horizon,
+			OutageEvery: 4 * time.Hour, OutageFor: 30 * time.Minute,
+			CRACEvery: 3 * time.Hour, CRACFor: time.Hour,
+			CrashEvery: time.Hour, CrashFor: 30 * time.Minute,
+			SensorEvery: 45 * time.Minute, SensorFor: time.Hour,
+			CRACs:   dc.Room().CRACs(),
+			Servers: dc.Fleet().Size(),
+			Sensors: dc.Room().Zones(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Arm(events); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(horizon); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if in.Injected() == 0 {
+			t.Errorf("seed %d: chaos schedule injected nothing", seed)
+		}
+		if err := env.InvariantErr(); err != nil {
+			t.Errorf("seed %d: invariant violated under chaos: %v", seed, err)
+		}
+	}
+}

@@ -34,7 +34,8 @@ func (c Component) Availability() (float64, error) {
 func SeriesAvailability(as ...float64) (float64, error) {
 	prod := 1.0
 	for i, a := range as {
-		if a < 0 || a > 1 {
+		// NaN fails every comparison, so reject it explicitly.
+		if math.IsNaN(a) || a < 0 || a > 1 {
 			return 0, fmt.Errorf("power: availability[%d] = %v out of [0,1]", i, a)
 		}
 		prod *= a
@@ -46,7 +47,7 @@ func SeriesAvailability(as ...float64) (float64, error) {
 // `have` independent identical units (each with availability a) are up —
 // the N+1 capacity-redundancy model of tier-2 facilities.
 func RedundantAvailability(a float64, need, have int) (float64, error) {
-	if a < 0 || a > 1 {
+	if math.IsNaN(a) || a < 0 || a > 1 {
 		return 0, fmt.Errorf("power: availability %v out of [0,1]", a)
 	}
 	if need <= 0 || have < need {

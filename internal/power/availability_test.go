@@ -76,6 +76,39 @@ func TestRedundantAvailability(t *testing.T) {
 	}
 }
 
+func TestAvailabilityArgumentValidation(t *testing.T) {
+	redundant := []struct {
+		name       string
+		a          float64
+		need, have int
+	}{
+		{"NaN availability", math.NaN(), 1, 2},
+		{"negative availability", -0.1, 1, 2},
+		{"availability above one", 1.0001, 1, 2},
+		{"zero need", 0.9, 0, 2},
+		{"negative need", 0.9, -1, 2},
+		{"need exceeds have", 0.9, 3, 2},
+	}
+	for _, tc := range redundant {
+		if _, err := RedundantAvailability(tc.a, tc.need, tc.have); err == nil {
+			t.Errorf("RedundantAvailability: %s accepted", tc.name)
+		}
+	}
+	series := []struct {
+		name string
+		as   []float64
+	}{
+		{"NaN element", []float64{0.9, math.NaN()}},
+		{"negative element", []float64{0.9, -0.5}},
+		{"element above one", []float64{2, 0.9}},
+	}
+	for _, tc := range series {
+		if _, err := SeriesAvailability(tc.as...); err == nil {
+			t.Errorf("SeriesAvailability: %s accepted", tc.name)
+		}
+	}
+}
+
 func TestRedundancyHelps(t *testing.T) {
 	check := func(rawA float64, extra uint8) bool {
 		a := math.Abs(math.Mod(rawA, 1))

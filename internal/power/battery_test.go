@@ -135,3 +135,70 @@ func TestOutageScenario(t *testing.T) {
 		t.Error("recharge drew no grid power")
 	}
 }
+
+func TestDischargePastEmpty(t *testing.T) {
+	b, err := NewBattery(1000, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty the store mid-interval: partial coverage, one depletion.
+	covered, ok := b.Discharge(100, 20*time.Second)
+	if ok || covered != 10*time.Second {
+		t.Fatalf("first over-discharge: covered %v ok %v, want 10s false", covered, ok)
+	}
+	if b.ChargeFraction() != 0 || b.Depletions() != 1 {
+		t.Fatalf("charge %v depletions %d after emptying", b.ChargeFraction(), b.Depletions())
+	}
+	// Discharging the already-empty store covers nothing and counts
+	// another depletion, never a negative charge.
+	covered, ok = b.Discharge(100, 20*time.Second)
+	if ok || covered != 0 {
+		t.Fatalf("empty-store discharge: covered %v ok %v, want 0 false", covered, ok)
+	}
+	if b.ChargeFraction() != 0 || b.Depletions() != 2 {
+		t.Fatalf("charge %v depletions %d after empty-store discharge", b.ChargeFraction(), b.Depletions())
+	}
+}
+
+func TestDischargeDegenerateArguments(t *testing.T) {
+	b, err := NewBattery(1000, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero load and zero dt are free: fully covered, no cycle counted.
+	if covered, ok := b.Discharge(0, time.Minute); !ok || covered != time.Minute {
+		t.Errorf("zero-load discharge: %v %v", covered, ok)
+	}
+	if covered, ok := b.Discharge(100, 0); !ok || covered != 0 {
+		t.Errorf("zero-dt discharge: %v %v", covered, ok)
+	}
+	if b.Cycles() != 0 || b.ChargeFraction() != 1 {
+		t.Errorf("degenerate discharges consumed charge: cycles %d frac %v",
+			b.Cycles(), b.ChargeFraction())
+	}
+}
+
+func TestRechargeWhileBridgingInterleave(t *testing.T) {
+	// Alternating discharge and recharge ticks (the utility model's
+	// recharge loop racing a fresh outage) must conserve energy and keep
+	// the charge inside [0, capacity].
+	b, err := NewBattery(10_000, 1_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		b.Discharge(500, 10*time.Second) // -5000 J
+		b.Recharge(10 * time.Second)     // +min(10000, room) J
+		if f := b.ChargeFraction(); f < 0 || f > 1 {
+			t.Fatalf("iteration %d: charge fraction %v out of [0,1]", i, f)
+		}
+	}
+	// The 1 kW charger outruns the 500 W drain, so the interleave must
+	// end full, not drifting.
+	if f := b.ChargeFraction(); f != 1 {
+		t.Errorf("final charge fraction %v, want 1", f)
+	}
+	if b.Depletions() != 0 {
+		t.Errorf("depletions %d during covered interleave", b.Depletions())
+	}
+}

@@ -1,0 +1,125 @@
+package sensornet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// lossless returns a 4-node line-topology config with no stochastic
+// message loss, so fault behaviour is isolated from channel noise.
+func lossless() NetworkConfig {
+	cfg := DefaultNetworkConfig(4)
+	cfg.LossPerHop = 0
+	for i := range cfg.Nodes {
+		cfg.Nodes[i].NoiseSD = 0
+	}
+	return cfg
+}
+
+func TestSetFaultValidation(t *testing.T) {
+	n, err := NewNetwork(lossless(), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetFault(-1, FaultDropout); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := n.SetFault(4, FaultDropout); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := n.SetFault(0, FaultMode(99)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := n.SetFault(0, FaultDropout); err != nil {
+		t.Fatal(err)
+	}
+	if n.Fault(0) != FaultDropout || n.FaultyCount() != 1 {
+		t.Fatal("fault not recorded")
+	}
+}
+
+func TestDropoutSilencesNodeAndPartitionsSubtree(t *testing.T) {
+	n, err := NewNetwork(lossless(), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := func(zone int) float64 { return 20 + float64(zone) }
+	if got := len(n.Collect(truth)); got != 4 {
+		t.Fatalf("healthy round delivered %d readings, want 4", got)
+	}
+	// Node 1 relays nodes 2 and 3 in the line topology: its dropout
+	// silences itself and partitions the subtree behind it.
+	if err := n.SetFault(1, FaultDropout); err != nil {
+		t.Fatal(err)
+	}
+	readings := n.Collect(truth)
+	if len(readings) != 1 || readings[0].Node != 0 {
+		t.Fatalf("dropout of relay 1 should leave only node 0, got %v", readings)
+	}
+	if err := n.SetFault(1, FaultNone); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Collect(truth)); got != 4 {
+		t.Fatalf("repair should restore delivery, got %d", got)
+	}
+}
+
+func TestStuckNodeReplaysPreFaultValue(t *testing.T) {
+	n, err := NewNetwork(lossless(), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp := 20.0
+	truth := func(zone int) float64 { return temp }
+	n.Collect(truth) // latch 20 as every node's last measurement
+	if err := n.SetFault(2, FaultStuck); err != nil {
+		t.Fatal(err)
+	}
+	temp = 30
+	for round := 0; round < 3; round++ {
+		readings := n.Collect(truth)
+		if len(readings) != 4 {
+			t.Fatalf("stuck node must keep transmitting, got %d readings", len(readings))
+		}
+		for _, r := range readings {
+			want := 30.0
+			if r.Node == 2 {
+				want = 20.0
+			}
+			if r.Value != want {
+				t.Fatalf("round %d node %d value %v, want %v", round, r.Node, r.Value, want)
+			}
+		}
+	}
+	if err := n.SetFault(2, FaultNone); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range n.Collect(truth) {
+		if r.Value != 30 {
+			t.Fatalf("repaired node %d still reads %v", r.Node, r.Value)
+		}
+	}
+}
+
+func TestStuckBeforeFirstSampleLatchesFirstMeasurement(t *testing.T) {
+	n, err := NewNetwork(lossless(), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetFault(0, FaultStuck); err != nil {
+		t.Fatal(err)
+	}
+	temp := 21.0
+	truth := func(zone int) float64 { return temp }
+	first := n.Collect(truth)
+	temp = 35
+	second := n.Collect(truth)
+	if first[0].Node != 0 || second[0].Node != 0 {
+		t.Fatal("node 0 missing")
+	}
+	if first[0].Value != 21 || second[0].Value != 21 {
+		t.Fatalf("stuck-at-first-sample: got %v then %v, want 21 both times",
+			first[0].Value, second[0].Value)
+	}
+}

@@ -112,6 +112,25 @@ type Reading struct {
 	Hops int
 }
 
+// FaultMode is an injected sensor malfunction (§4.5 instrumentation is
+// itself hardware that fails: radios die, ADCs latch).
+type FaultMode int
+
+// Sensor fault modes.
+const (
+	// FaultNone marks a healthy sensor.
+	FaultNone FaultMode = iota
+	// FaultDropout silences the node: it neither samples nor transmits
+	// until repaired (a dead radio). Relays in dropout still cannot
+	// forward, partitioning their subtree exactly like a dead battery.
+	FaultDropout
+	// FaultStuck latches the node's reading: it keeps transmitting the
+	// last value it measured before the fault, regardless of the ground
+	// truth (a latched ADC) — the insidious case, because the collection
+	// tree still reports full delivery.
+	FaultStuck
+)
+
 // Network is the runtime sensor network.
 type Network struct {
 	cfg       NetworkConfig
@@ -119,6 +138,11 @@ type Network struct {
 	batteries []float64
 	delivered int64
 	lost      int64
+	faults    []FaultMode
+	// lastValue is each node's most recent measurement; a stuck node
+	// replays it.
+	lastValue []float64
+	hasValue  []bool
 }
 
 // NewNetwork builds a network with the given deterministic source.
@@ -130,7 +154,43 @@ func NewNetwork(cfg NetworkConfig, rng *sim.RNG) (*Network, error) {
 	for i, n := range cfg.Nodes {
 		batteries[i] = n.BatteryJ
 	}
-	return &Network{cfg: cfg, rng: rng, batteries: batteries}, nil
+	return &Network{
+		cfg:       cfg,
+		rng:       rng,
+		batteries: batteries,
+		faults:    make([]FaultMode, len(cfg.Nodes)),
+		lastValue: make([]float64, len(cfg.Nodes)),
+		hasValue:  make([]bool, len(cfg.Nodes)),
+	}, nil
+}
+
+// SetFault injects or clears a fault on node i. Clearing restores normal
+// sampling on the next Collect round.
+func (n *Network) SetFault(i int, mode FaultMode) error {
+	if i < 0 || i >= len(n.cfg.Nodes) {
+		return fmt.Errorf("sensornet: node %d out of range", i)
+	}
+	switch mode {
+	case FaultNone, FaultDropout, FaultStuck:
+	default:
+		return fmt.Errorf("sensornet: unknown fault mode %d", int(mode))
+	}
+	n.faults[i] = mode
+	return nil
+}
+
+// Fault reports node i's current fault mode.
+func (n *Network) Fault(i int) FaultMode { return n.faults[i] }
+
+// FaultyCount reports how many nodes currently carry an injected fault.
+func (n *Network) FaultyCount() int {
+	count := 0
+	for _, f := range n.faults {
+		if f != FaultNone {
+			count++
+		}
+	}
+	return count
 }
 
 // Alive reports whether node i still has battery.
@@ -156,19 +216,26 @@ func (n *Network) DeliveryStats() (delivered, lost int64) { return n.delivered, 
 func (n *Network) Collect(truth func(zone int) float64) []Reading {
 	var out []Reading
 	for i, node := range n.cfg.Nodes {
-		if !n.Alive(i) {
+		if !n.Alive(i) || n.faults[i] == FaultDropout {
 			continue
 		}
 		n.batteries[i] -= n.cfg.SampleCostJ
-		value := truth(node.Zone) + n.rng.Normal(0, node.NoiseSD)
+		var value float64
+		if n.faults[i] == FaultStuck && n.hasValue[i] {
+			value = n.lastValue[i] // latched ADC replays the pre-fault sample
+		} else {
+			value = truth(node.Zone) + n.rng.Normal(0, node.NoiseSD)
+			n.lastValue[i] = value
+			n.hasValue[i] = true
+		}
 
 		// Walk to the base, draining forwarders and rolling loss dice.
 		hops := 1
 		cur := node.Parent
 		lost := n.rng.Bernoulli(n.cfg.LossPerHop)
 		for cur != -1 && !lost {
-			if !n.Alive(cur) {
-				lost = true // dead relay partitions the subtree
+			if !n.Alive(cur) || n.faults[cur] == FaultDropout {
+				lost = true // dead or silenced relay partitions the subtree
 				break
 			}
 			n.batteries[cur] -= n.cfg.ForwardCostJ

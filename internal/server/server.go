@@ -236,6 +236,7 @@ type Server struct {
 	energyJ  float64
 	trips    int
 	boots    int
+	crashes  int
 	readyAt  time.Duration // when a pending boot completes
 	offAt    time.Duration // when a pending shutdown completes
 	inletC   float64
@@ -427,6 +428,26 @@ func (s *Server) PowerOff(e *sim.Engine) {
 	s.offAt = e.Now() + s.cfg.ShutdownDelay
 	e.ScheduleAt(s.offAt, func(eng *sim.Engine) { s.advance(eng.Now()) })
 }
+
+// Crash models an abrupt failure at now (fault injection): a powered-on
+// or booting machine drops straight to Off with no graceful shutdown
+// delay — the same hard path a protective thermal trip takes, so the
+// transition is legal under the lifecycle invariant. Recovery is a normal
+// PowerOn. It reports whether the server actually crashed (a machine that
+// is Off or already ShuttingDown has nothing to lose).
+func (s *Server) Crash(now time.Duration) bool {
+	s.advance(now)
+	if s.state != StateActive && s.state != StateBooting {
+		return false
+	}
+	s.state = StateOff
+	s.util = 0
+	s.crashes++
+	return true
+}
+
+// Crashes reports how many abrupt (injected) failures have occurred.
+func (s *Server) Crashes() int { return s.crashes }
 
 // ObserveInlet reports the inlet air temperature to the server's
 // protective sensor at now. Exceeding the trip threshold while powered on
