@@ -41,17 +41,26 @@ type DataCenterConfig struct {
 // through heat and protected by thermal trips, with telemetry feeding the
 // macro layer.
 type DataCenter struct {
-	cfg      DataCenterConfig
-	engine   *sim.Engine
-	fleet    *Fleet
-	topo     *power.Topology
-	room     *cooling.Room
-	store    *telemetry.Store
-	rackOf   []int // server index -> rack index
-	zoneOf   []int // server index -> zone index
-	tripped  int
-	cancels  []sim.Cancel
-	attached bool
+	cfg    DataCenterConfig
+	engine *sim.Engine
+	fleet  *Fleet
+	topo   *power.Topology
+	room   *cooling.Room
+	store  *telemetry.Store
+	// Interned per-entity telemetry handles: keys are formatted and
+	// resolved once at construction, so a sample round does no string
+	// building, hashing, or map lookups (the §5.3 ingest fast path).
+	powerApp []*telemetry.Appender
+	utilApp  []*telemetry.Appender
+	inletApp []*telemetry.Appender
+	// heatScratch is the physics tick's per-zone accumulator, reused
+	// across ticks (the engine is single-threaded).
+	heatScratch []float64
+	rackOf      []int // server index -> rack index
+	zoneOf      []int // server index -> zone index
+	tripped     int
+	cancels     []sim.Cancel
+	attached    bool
 }
 
 // NewDataCenter builds and wires the facility.
@@ -109,6 +118,16 @@ func NewDataCenter(e *sim.Engine, cfg DataCenterConfig) (*DataCenter, error) {
 		if err != nil {
 			return nil, err
 		}
+		dc.powerApp = make([]*telemetry.Appender, nServers)
+		dc.utilApp = make([]*telemetry.Appender, nServers)
+		for i := 0; i < nServers; i++ {
+			dc.powerApp[i] = dc.store.Appender(fmt.Sprintf("srv%04d/power", i))
+			dc.utilApp[i] = dc.store.Appender(fmt.Sprintf("srv%04d/util", i))
+		}
+		dc.inletApp = make([]*telemetry.Appender, room.Zones())
+		for z := range dc.inletApp {
+			dc.inletApp[z] = dc.store.Appender(fmt.Sprintf("zone%02d/inlet", z))
+		}
 	}
 	return dc, nil
 }
@@ -157,7 +176,13 @@ func (dc *DataCenter) Attach() (sim.Cancel, error) {
 	// temperatures (and protective trips, §2.2) out.
 	dc.cancels = append(dc.cancels, dc.engine.Every(dc.room.PhysicsTick(), func(e *sim.Engine) {
 		now := e.Now()
-		heat := make([]float64, dc.room.Zones())
+		if dc.heatScratch == nil {
+			dc.heatScratch = make([]float64, dc.room.Zones())
+		}
+		heat := dc.heatScratch
+		for z := range heat {
+			heat[z] = 0
+		}
 		for i, s := range dc.fleet.Servers() {
 			s.Sync(now)
 			heat[dc.zoneOf[i]] += s.Power()
@@ -186,22 +211,20 @@ func (dc *DataCenter) Attach() (sim.Cancel, error) {
 	}, nil
 }
 
-// sample pushes one telemetry round into the store.
+// sample pushes one telemetry round into the store through the interned
+// per-entity handles.
 func (dc *DataCenter) sample(now time.Duration) {
 	for i, s := range dc.fleet.Servers() {
 		s.Sync(now)
-		key := fmt.Sprintf("srv%04d/power", i)
-		if err := dc.store.Append(key, now, s.Power()); err != nil {
+		if err := dc.powerApp[i].Append(now, s.Power()); err != nil {
 			panic(fmt.Sprintf("core: telemetry: %v", err)) // single writer, monotone time
 		}
-		key = fmt.Sprintf("srv%04d/util", i)
-		if err := dc.store.Append(key, now, s.Utilization()); err != nil {
+		if err := dc.utilApp[i].Append(now, s.Utilization()); err != nil {
 			panic(fmt.Sprintf("core: telemetry: %v", err))
 		}
 	}
-	for z := 0; z < dc.room.Zones(); z++ {
-		key := fmt.Sprintf("zone%02d/inlet", z)
-		if err := dc.store.Append(key, now, dc.room.ZoneInletC(z)); err != nil {
+	for z, a := range dc.inletApp {
+		if err := a.Append(now, dc.room.ZoneInletC(z)); err != nil {
 			panic(fmt.Sprintf("core: telemetry: %v", err))
 		}
 	}

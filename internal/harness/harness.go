@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
@@ -114,28 +115,43 @@ func Run(cfg Config) ([]Summary, error) {
 		}
 	}
 
+	// Workers claim jobs through an atomic cursor and write into their
+	// preallocated result slot — no channel handoff, no append, no
+	// per-job allocation in the dispatch path. Job i's slot is fixed, so
+	// output order is deterministic regardless of claim order.
 	results := make([]JobResult, len(jobs))
-	next := make(chan int)
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
 				j := jobs[i]
 				results[i] = runJob(j.id, j.seed, j.rep, cfg.DisarmInvariants)
 			}
 		}()
 	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 
+	// Jobs were laid out replication-major per experiment, so each
+	// experiment's replications are the contiguous block
+	// results[k*Reps : (k+1)*Reps] — slice it instead of rebuilding a
+	// map of appended copies.
 	byID := make(map[string][]JobResult, len(cfg.IDs))
-	for _, r := range results {
-		byID[r.ID] = append(byID[r.ID], r)
+	for k, id := range cfg.IDs {
+		// Full slice expression: a duplicated id appends into a fresh
+		// array instead of growing over the neighbouring block.
+		block := results[k*cfg.Reps : (k+1)*cfg.Reps : (k+1)*cfg.Reps]
+		if prev, ok := byID[id]; ok {
+			byID[id] = append(append(make([]JobResult, 0, len(prev)+len(block)), prev...), block...)
+		} else {
+			byID[id] = block
+		}
 	}
 	summaries := make([]Summary, 0, len(cfg.IDs))
 	var errs []error
@@ -183,10 +199,15 @@ func runJob(id string, seed int64, rep int, disarm bool) JobResult {
 	return jr
 }
 
-// summarize folds one experiment's replications into aggregates.
+// summarize folds one experiment's replications into aggregates. The
+// metric buffers are sized up front — one allocation each, no append
+// growth.
 func summarize(id string, reps []JobResult) Summary {
 	s := Summary{ID: id, Reps: reps}
-	var wall, events, rate, peak []float64
+	wall := make([]float64, 0, len(reps))
+	events := make([]float64, 0, len(reps))
+	rate := make([]float64, 0, len(reps))
+	peak := make([]float64, 0, len(reps))
 	for _, r := range reps {
 		if r.Err != "" {
 			s.Errors = append(s.Errors, fmt.Sprintf("seed %d: %s", r.Seed, r.Err))

@@ -216,3 +216,36 @@ func TestTableRendersOneRowPerExperiment(t *testing.T) {
 		}
 	}
 }
+
+// TestDuplicateIDsKeepAllReplications guards the block-sliced result
+// grouping: a repeated id must still see every replication of that
+// experiment (both blocks), and neighbouring experiments' blocks must
+// stay untouched.
+func TestDuplicateIDsKeepAllReplications(t *testing.T) {
+	id := fastIDs[0]
+	other := fastIDs[1]
+	sums, err := Run(Config{IDs: []string{id, other, id}, BaseSeed: 1, Reps: 2, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 3 {
+		t.Fatalf("got %d summaries, want 3", len(sums))
+	}
+	for _, i := range []int{0, 2} {
+		s := sums[i]
+		if s.ID != id {
+			t.Fatalf("summary %d id = %q, want %q", i, s.ID, id)
+		}
+		if len(s.Reps) != 4 {
+			t.Fatalf("duplicated id sees %d reps, want 4 (both blocks)", len(s.Reps))
+		}
+		for _, jr := range s.Reps {
+			if jr.ID != id {
+				t.Errorf("rep for %q leaked into %q summary", jr.ID, id)
+			}
+		}
+	}
+	if s := sums[1]; s.ID != other || len(s.Reps) != 2 {
+		t.Fatalf("middle summary %q has %d reps, want %q with 2", s.ID, len(s.Reps), other)
+	}
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MannWhitney holds the result of a two-sided Mann–Whitney U test.
+type MannWhitney struct {
+	// U is the test statistic for the first sample.
+	U float64
+	// P is the two-sided p-value: the probability, under the null
+	// hypothesis that both samples come from the same distribution, of a
+	// U at least as extreme as observed.
+	P float64
+	// Exact reports whether P came from the exact U distribution (no
+	// ties, small samples) or the normal approximation.
+	Exact bool
+}
+
+// MannWhitneyU runs a two-sided Mann–Whitney U test on two independent
+// samples — the standard distribution-free check benchstat applies to
+// benchmark deltas, reimplemented here so the benchmark-regression gate
+// needs no external tooling. With no ties and small samples the exact
+// permutation distribution is used; otherwise the tie-corrected normal
+// approximation.
+func MannWhitneyU(x, y []float64) (MannWhitney, error) {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return MannWhitney{}, fmt.Errorf("stats: mann-whitney needs non-empty samples (%d, %d)", n, m)
+	}
+	for _, v := range append(append([]float64{}, x...), y...) {
+		if math.IsNaN(v) {
+			return MannWhitney{}, fmt.Errorf("stats: mann-whitney sample contains NaN")
+		}
+	}
+	// Midrank the pooled sample.
+	type obs struct {
+		v     float64
+		first bool
+	}
+	pool := make([]obs, 0, n+m)
+	for _, v := range x {
+		pool = append(pool, obs{v, true})
+	}
+	for _, v := range y {
+		pool = append(pool, obs{v, false})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+	ranks := make([]float64, n+m)
+	ties := false
+	var tieTerm float64 // Σ (t³ - t) over tie groups, for the variance correction
+	for i := 0; i < len(pool); {
+		j := i
+		for j < len(pool) && pool[j].v == pool[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // midrank (1-based average of positions i..j-1)
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		if t := j - i; t > 1 {
+			ties = true
+			tieTerm += float64(t*t*t - t)
+		}
+		i = j
+	}
+	var rx float64
+	for i, o := range pool {
+		if o.first {
+			rx += ranks[i]
+		}
+	}
+	u := rx - float64(n*(n+1))/2
+
+	const exactLimit = 12
+	if !ties && n <= exactLimit && m <= exactLimit {
+		p := exactMannWhitneyP(n, m, u)
+		return MannWhitney{U: u, P: p, Exact: true}, nil
+	}
+	// Normal approximation with tie correction and continuity correction.
+	nm := float64(n * m)
+	mean := nm / 2
+	nTot := float64(n + m)
+	variance := nm / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	if variance <= 0 {
+		// All observations identical: no evidence of difference.
+		return MannWhitney{U: u, P: 1, Exact: false}, nil
+	}
+	z := (math.Abs(u-mean) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	p := math.Erfc(z / math.Sqrt2) // two-sided
+	if p > 1 {
+		p = 1
+	}
+	return MannWhitney{U: u, P: p, Exact: false}, nil
+}
+
+// exactMannWhitneyP computes the exact two-sided p-value of U for sample
+// sizes n, m by dynamic programming over the null permutation
+// distribution: count(n, m, u) = count(n-1, m, u-m) + count(n, m-1, u).
+func exactMannWhitneyP(n, m int, u float64) float64 {
+	maxU := n * m
+	// counts[i][j][k] built bottom-up in two rolling layers over i.
+	prev := make([][]float64, m+1)
+	cur := make([][]float64, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = make([]float64, maxU+1)
+		cur[j] = make([]float64, maxU+1)
+		prev[j][0] = 1 // n=0: only u=0 is reachable
+	}
+	for i := 1; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			for k := 0; k <= maxU; k++ {
+				var c float64
+				if k-j >= 0 {
+					c += prev[j][k-j] // first sample contributes its rank over j others
+				}
+				if j > 0 {
+					c += cur[j-1][k]
+				}
+				cur[j][k] = c
+			}
+		}
+		prev, cur = cur, prev
+	}
+	dist := prev[m]
+	var total float64
+	for _, c := range dist {
+		total += c
+	}
+	// Two-sided: double the smaller tail (U and its mirror n*m-U).
+	lo := int(math.Floor(u))
+	var lower float64
+	for k := 0; k <= lo && k <= maxU; k++ {
+		lower += dist[k]
+	}
+	hi := int(math.Ceil(u))
+	var upper float64
+	for k := hi; k <= maxU; k++ {
+		upper += dist[k]
+	}
+	p := 2 * math.Min(lower, upper) / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

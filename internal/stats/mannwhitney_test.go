@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMannWhitneyCompleteSeparation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{6, 7, 8, 9, 10}
+	r, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exact {
+		t.Error("small untied samples should use the exact distribution")
+	}
+	if r.U != 0 {
+		t.Errorf("U = %v, want 0", r.U)
+	}
+	// P(U <= 0) = 1/C(10,5) = 1/252; two-sided doubles it.
+	want := 2.0 / 252.0
+	if math.Abs(r.P-want) > 1e-12 {
+		t.Errorf("p = %v, want %v", r.P, want)
+	}
+}
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	x := []float64{5, 5, 5, 5, 5}
+	r, err := MannWhitneyU(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 1 {
+		t.Errorf("identical samples p = %v, want 1", r.P)
+	}
+}
+
+func TestMannWhitneyInterleaved(t *testing.T) {
+	// Perfectly interleaved samples: no evidence of a shift, p must be
+	// large.
+	x := []float64{1, 3, 5, 7, 9}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P < 0.5 {
+		t.Errorf("interleaved samples p = %v, want >= 0.5", r.P)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	x := []float64{1.2, 1.4, 1.1, 1.3, 1.5}
+	y := []float64{2.1, 2.3, 1.9, 2.0, 2.2}
+	a, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MannWhitneyU(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.P-b.P) > 1e-12 {
+		t.Errorf("p not symmetric: %v vs %v", a.P, b.P)
+	}
+	if math.Abs(a.U+b.U-float64(len(x)*len(y))) > 1e-9 {
+		t.Errorf("U + U' = %v, want %d", a.U+b.U, len(x)*len(y))
+	}
+}
+
+func TestMannWhitneyTiesFallBackToNormal(t *testing.T) {
+	x := []float64{1, 1, 2, 2, 3}
+	y := []float64{2, 3, 3, 4, 4}
+	r, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exact {
+		t.Error("tied samples must use the normal approximation")
+	}
+	if r.P <= 0 || r.P > 1 {
+		t.Errorf("p = %v out of range", r.P)
+	}
+}
+
+func TestMannWhitneyLargeSamplesNormal(t *testing.T) {
+	var x, y []float64
+	for i := 0; i < 30; i++ {
+		x = append(x, float64(i))
+		y = append(y, float64(i)+20)
+	}
+	r, err := MannWhitneyU(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exact {
+		t.Error("n=30 should use the normal approximation")
+	}
+	if r.P > 1e-6 {
+		t.Errorf("clearly shifted samples p = %v, want tiny", r.P)
+	}
+}
+
+func TestMannWhitneyErrors(t *testing.T) {
+	if _, err := MannWhitneyU(nil, []float64{1}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := MannWhitneyU([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN accepted")
+	}
+}

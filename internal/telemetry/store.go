@@ -119,12 +119,30 @@ func (l *level) fold(t time.Duration, v float64) {
 
 // series is the pyramid for one key.
 type series struct {
-	raw    []point
-	levels []level // minute, quarter, hour, day
-	lastT  time.Duration
-	hasAny bool
+	// raw[rawHead:] is the retained raw band. Retention advances rawHead
+	// instead of recopying the slice per drop; compact() reclaims the
+	// dead prefix once it reaches half the slice, so trimming is
+	// amortized O(1) per append instead of O(window).
+	raw     []point
+	rawHead int
+	levels  []level // minute, quarter, hour, day
+	lastT   time.Duration
+	hasAny  bool
 	// dropped counts raw points discarded by band retention.
 	dropped int64
+}
+
+// retained returns the live raw band.
+func (ser *series) retained() []point { return ser.raw[ser.rawHead:] }
+
+// compact slides the live band to the front when the dead prefix
+// dominates, bounding memory at ~2× the retained window.
+func (ser *series) compact() {
+	if ser.rawHead > 0 && ser.rawHead*2 >= len(ser.raw) {
+		n := copy(ser.raw, ser.raw[ser.rawHead:])
+		ser.raw = ser.raw[:n]
+		ser.rawHead = 0
+	}
 }
 
 // Config configures a Store.
@@ -206,10 +224,10 @@ func newSeries() *series {
 
 // Append ingests one sample. Timestamps per key must be non-decreasing
 // (collection pipelines deliver in order); regressions are rejected.
+// Pipelines appending the same key repeatedly should resolve an Appender
+// once and use its Append, which skips the per-point key hash and map
+// lookup.
 func (s *Store) Append(key string, t time.Duration, v float64) error {
-	if t < 0 {
-		return fmt.Errorf("telemetry: negative timestamp %v", t)
-	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -217,6 +235,15 @@ func (s *Store) Append(key string, t time.Duration, v float64) error {
 	if !ok {
 		ser = newSeries()
 		sh.series[key] = ser
+	}
+	return s.appendLocked(key, ser, t, v)
+}
+
+// appendLocked ingests one sample into a resolved series. The caller
+// holds the series' shard lock.
+func (s *Store) appendLocked(key string, ser *series, t time.Duration, v float64) error {
+	if t < 0 {
+		return fmt.Errorf("telemetry: negative timestamp %v", t)
 	}
 	if ser.hasAny && t < ser.lastT {
 		return fmt.Errorf("telemetry: out-of-order sample for %q: %v after %v", key, t, ser.lastT)
@@ -227,19 +254,59 @@ func (s *Store) Append(key string, t time.Duration, v float64) error {
 	for i := range ser.levels {
 		ser.levels[i].fold(t, v)
 	}
-	// Band retention: drop raw samples older than the window.
+	// Band retention: drop raw samples older than the window by advancing
+	// the head index (timestamps are non-decreasing, so expiry is always
+	// a prefix); compaction amortizes the copy.
 	if s.cfg.RawRetention > 0 {
 		cutoff := t - s.cfg.RawRetention
 		drop := 0
-		for drop < len(ser.raw) && ser.raw[drop].t < cutoff {
+		for ser.rawHead < len(ser.raw) && ser.raw[ser.rawHead].t < cutoff {
+			ser.rawHead++
 			drop++
 		}
 		if drop > 0 {
 			ser.dropped += int64(drop)
-			ser.raw = append(ser.raw[:0], ser.raw[drop:]...)
+			ser.compact()
 		}
 	}
 	return nil
+}
+
+// Appender is a resolved handle to one series: the shard and series are
+// looked up once at construction, so the per-point ingest path skips the
+// key hash and map lookup entirely. An Appender is safe for concurrent
+// use with other Appenders and with Store methods (appends still take
+// the shard lock); per-key sample ordering rules are unchanged.
+type Appender struct {
+	store *Store
+	sh    *shard
+	ser   *series
+	key   string
+}
+
+// Appender interns key and returns its append handle, creating the
+// series if it does not exist yet.
+func (s *Store) Appender(key string) *Appender {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	ser, ok := sh.series[key]
+	if !ok {
+		ser = newSeries()
+		sh.series[key] = ser
+	}
+	sh.mu.Unlock()
+	return &Appender{store: s, sh: sh, ser: ser, key: key}
+}
+
+// Key returns the series key the handle is bound to.
+func (a *Appender) Key() string { return a.key }
+
+// Append ingests one sample through the resolved handle.
+func (a *Appender) Append(t time.Duration, v float64) error {
+	a.sh.mu.Lock()
+	err := a.store.appendLocked(a.key, a.ser, t, v)
+	a.sh.mu.Unlock()
+	return err
 }
 
 // Keys returns all stored keys in sorted order.
@@ -275,7 +342,7 @@ func (s *Store) Stats() Stats {
 		sh.mu.RLock()
 		for _, ser := range sh.series {
 			out.Keys++
-			out.RawPoints += int64(len(ser.raw))
+			out.RawPoints += int64(len(ser.retained()))
 			out.DroppedRaw += ser.dropped
 			for _, l := range ser.levels {
 				out.AggBuckets += int64(len(ser.buckets(l)))
@@ -305,7 +372,7 @@ func (s *Store) Query(key string, from, to time.Duration, res Resolution) ([]Buc
 	}
 	if res == ResRaw {
 		var out []Bucket
-		for _, p := range ser.raw {
+		for _, p := range ser.retained() {
 			if p.t >= from && p.t < to {
 				out = append(out, Bucket{Start: p.t, Count: 1, Sum: p.v, Min: p.v, Max: p.v})
 			}
