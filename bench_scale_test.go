@@ -1,0 +1,161 @@
+// Fleet-scale macro benchmarks: the full fig4-style facility — power
+// tree, cooling room, thermal trips, rack caps with enforcement, the
+// coordinated MRM manager, telemetry sampling — run end to end at 1k,
+// 10k, and 100k servers. These measure what the paper's MRM layer (§5)
+// actually costs per simulated hour at data-center scale; the per-tick
+// aggregate maintenance in internal/core is what keeps the cost
+// proportional to changes rather than fleet size. Only public APIs are
+// used, so this file also compiles against older trees for apples-to-
+// apples before/after comparisons.
+package repro_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cooling"
+	"repro/internal/core"
+	"repro/internal/onoff"
+	"repro/internal/power"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// scaleHorizon is the simulated time each iteration covers.
+const scaleHorizon = 2 * time.Hour
+
+// runScaleDC builds a 100-rack facility with nServers servers and runs
+// the fig4 control stack over scaleHorizon: coordinated manager and cap
+// enforcement on 1-minute decisions, 10 s physics ticks, 1-minute
+// telemetry samples, PUE probes every 15 minutes.
+func runScaleDC(b *testing.B, nServers int) {
+	b.Helper()
+	const racks = 100
+	perRack := nServers / racks
+	if perRack*racks != nServers {
+		b.Fatalf("nServers %d not divisible by %d racks", nServers, racks)
+	}
+	srvCfg := server.DefaultConfig()
+	// Cooling and fans carry nServers/40 times the fig4 facility's load,
+	// so zone temperatures stay in the same regime at every tier.
+	airScale := float64(nServers) / 40
+
+	e := sim.NewEngine(1)
+	zone := func(name string) cooling.ZoneConfig {
+		z := cooling.DefaultZone(name)
+		z.Airflow *= airScale
+		return z
+	}
+	plant := cooling.DefaultPlantConfig()
+	plant.FanRatedW = 2_000 * airScale
+	zoneOfRack := make([]int, racks)
+	for r := range zoneOfRack {
+		zoneOfRack[r] = r % 4
+	}
+	dc, err := core.NewDataCenter(e, core.DataCenterConfig{
+		Name:           "dc-scale",
+		ServerConfig:   srvCfg,
+		ServersPerRack: perRack,
+		Topology: power.TopologyConfig{
+			UPSCount: 2, PDUsPerUPS: 5, RacksPerPDU: 10,
+			RackRatedW: float64(perRack) * srvCfg.PeakPower * 1.05, Oversubscription: 1,
+		},
+		Room: cooling.RoomConfig{
+			Zones:       []cooling.ZoneConfig{zone("z0"), zone("z1"), zone("z2"), zone("z3")},
+			CRACs:       []cooling.CRACConfig{cooling.DefaultCRAC("c0"), cooling.DefaultCRAC("c1")},
+			Sensitivity: [][]float64{{0.6, 0.3}, {0.5, 0.4}, {0.4, 0.5}, {0.3, 0.6}},
+			PhysicsTick: cooling.DefaultPhysicsTick,
+		},
+		ZoneOfRack:  zoneOfRack,
+		Plant:       plant,
+		SampleEvery: time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dc.Attach(); err != nil {
+		b.Fatal(err)
+	}
+	if err := dc.PreferCoolingSensitiveZones(); err != nil {
+		b.Fatal(err)
+	}
+
+	rackServers := make([][]*server.Server, racks)
+	for i, s := range dc.Fleet().Servers() {
+		rackServers[dc.RackOfServer(i)] = append(rackServers[dc.RackOfServer(i)], s)
+	}
+	for _, rack := range dc.Topology().Racks {
+		rack.SetCap(float64(perRack) * srvCfg.PeakPower * 0.93)
+	}
+	enforcer, err := core.NewCapEnforcer(dc.Topology().Racks, rackServers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Every(time.Minute, func(eng *sim.Engine) { enforcer.Enforce(eng.Now()) })
+
+	demand := func(now time.Duration) float64 {
+		h := now.Hours() - 24*float64(int(now.Hours()/24))
+		frac := 0.2 + 0.55*0.5*(1+math.Cos(2*math.Pi*(h-14)/24))
+		return frac * float64(nServers) * srvCfg.Capacity
+	}
+	mgr, err := core.NewManagerForFleet(e, core.ManagerConfig{
+		ServerConfig:   srvCfg,
+		FleetSize:      nServers,
+		Queue:          workload.DefaultQueueModel(),
+		SLA:            100 * time.Millisecond,
+		DecisionPeriod: time.Minute,
+		Mode:           core.ModeCoordinated,
+		InitialOn:      nServers / 2,
+		Trigger:        onoff.DelayTrigger{High: 60 * time.Millisecond, Low: 25 * time.Millisecond, StepUp: 1, StepDown: 1, Min: 1, Max: nServers},
+	}, dc.Fleet(), demand)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr.Start()
+	e.Every(15*time.Minute, func(eng *sim.Engine) {
+		_, _, _ = dc.PUEAt(18, 0.5)
+	})
+	if err := e.Run(scaleHorizon); err != nil {
+		b.Fatal(err)
+	}
+	// Touch the results so nothing is dead-code-eliminated.
+	dc.Fleet().Sync(scaleHorizon)
+	if dc.Fleet().EnergyJ() <= 0 {
+		b.Fatal("no energy accumulated")
+	}
+}
+
+// benchScaleDC reports simulated server-hours per wall second, the
+// throughput metric the benchdiff gate watches at scale.
+func benchScaleDC(b *testing.B, nServers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runScaleDC(b, nServers)
+	}
+	srvHours := float64(b.N) * float64(nServers) * scaleHorizon.Hours()
+	b.ReportMetric(srvHours/b.Elapsed().Seconds(), "srv-h/sec")
+}
+
+// BenchmarkDataCenter1k is the CI-sized tier (runs in short mode).
+func BenchmarkDataCenter1k(b *testing.B) { benchScaleDC(b, 1_000) }
+
+// BenchmarkDataCenter10k is the headline scale tier: the fig4 control
+// stack over ten thousand servers.
+func BenchmarkDataCenter10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k tier skipped in short mode")
+	}
+	benchScaleDC(b, 10_000)
+}
+
+// BenchmarkDataCenter100k demonstrates headroom at a hundred thousand
+// servers — the "millions of users" operating point of the roadmap.
+func BenchmarkDataCenter100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k tier skipped in short mode")
+	}
+	benchScaleDC(b, 100_000)
+}

@@ -59,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	packages := fs.String("packages", "./...", "comma-separated package patterns to bench")
 	count := fs.Int("count", 5, "runs per benchmark (samples for the significance test)")
 	benchtime := fs.String("benchtime", "1x", "go test -benchtime value")
+	short := fs.Bool("short", false, "pass -short to go test (skips the 10k/100k scale tiers)")
 	outFile := fs.String("out", "", "write this run's results JSON to this file")
 	baseline := fs.String("baseline", "", "compare against this baseline JSON; exit 1 on gated regressions")
 	candidate := fs.String("candidate", "", "compare this results JSON instead of running the benchmarks")
@@ -78,7 +79,7 @@ func run(args []string, out io.Writer) error {
 		}
 		cur = f.Benchmarks
 	} else {
-		cur, err = runBenchmarks(out, *bench, *packages, *benchtime, *count)
+		cur, err = runBenchmarks(out, *bench, *packages, *benchtime, *count, *short)
 		if err != nil {
 			return err
 		}
@@ -131,9 +132,12 @@ func loadFile(path string) (File, error) {
 
 // runBenchmarks shells out to go test and folds the parsed output of all
 // packages into one result set.
-func runBenchmarks(out io.Writer, bench, packages, benchtime string, count int) (Results, error) {
+func runBenchmarks(out io.Writer, bench, packages, benchtime string, count int, short bool) (Results, error) {
 	args := []string{"test", "-run", "^$", "-bench", bench,
 		"-benchtime", benchtime, "-count", strconv.Itoa(count), "-benchmem"}
+	if short {
+		args = append(args, "-short")
+	}
 	args = append(args, strings.Split(packages, ",")...)
 	fmt.Fprintf(out, "running: go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)

@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size")
 	jsonOut := fs.String("json", "", "write per-job metrics and aggregates to this JSON file")
 	invariants := fs.Bool("invariants", true, "assert physical-law invariants after every kernel event")
+	scale := fs.Int("scale", 1, "facility size multiplier for the fig4-family experiments (servers per rack and matching ratings)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	traceOut := fs.String("trace", "", "write a runtime execution trace of the run to this file")
@@ -104,11 +105,15 @@ func run(args []string, out io.Writer) error {
 	if *parallel < 1 {
 		return fmt.Errorf("parallel %d must be at least 1", *parallel)
 	}
+	if *scale < 1 {
+		return fmt.Errorf("scale %d must be at least 1", *scale)
+	}
 	cfg := harness.Config{
 		BaseSeed:         *seed,
 		Reps:             *reps,
 		Parallel:         *parallel,
 		DisarmInvariants: !*invariants,
+		Scale:            *scale,
 	}
 	if *id != "" {
 		if !exp.Known(*id) {

@@ -197,6 +197,9 @@ type Room struct {
 	cracs []*crac
 	// coolingLoadW is the total heat the plant currently removes.
 	coolingLoadW float64
+	// exhausts is Step's per-zone scratch, reused so the physics tick
+	// stays allocation-free.
+	exhausts []float64
 }
 
 // NewRoom builds the room model.
@@ -239,6 +242,7 @@ func NewRoom(cfg RoomConfig) (*Room, error) {
 			returnC:       cc.InitialSupplyC,
 		})
 	}
+	r.exhausts = make([]float64, len(r.zones))
 	return r, nil
 }
 
@@ -374,7 +378,7 @@ func (r *Room) Step() {
 		c.delayedSupply = c.delay.Step(supply)
 	}
 	var totalHeat float64
-	exhausts := make([]float64, len(r.zones))
+	exhausts := r.exhausts
 	for zi, zn := range r.zones {
 		mix := 0.0
 		for ci, s := range r.cfg.Sensitivity[zi] {

@@ -64,17 +64,17 @@ func (c *CapEnforcer) Enforce(now time.Duration) int {
 		if capW <= 0 {
 			continue
 		}
-		flow := rack.Evaluate()
+		outW := rack.OutputW()
 		switch {
-		case flow.OutW > capW:
-			if c.throttleRack(now, i, flow.OutW, capW) {
+		case outW > capW:
+			if c.throttleRack(now, i, outW, capW) {
 				c.throttleEvents++
 			} else {
 				c.uncappable++
 			}
 			acted++
-		case flow.OutW < capW*(1-2*c.margin):
-			if c.relaxRack(now, i, flow.OutW, capW) {
+		case outW < capW*(1-2*c.margin):
+			if c.relaxRack(now, i, outW, capW) {
 				c.relaxEvents++
 				acted++
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -47,20 +48,26 @@ type DataCenter struct {
 	topo   *power.Topology
 	room   *cooling.Room
 	store  *telemetry.Store
-	// Interned per-entity telemetry handles: keys are formatted and
-	// resolved once at construction, so a sample round does no string
-	// building, hashing, or map lookups (the §5.3 ingest fast path).
-	powerApp []*telemetry.Appender
-	utilApp  []*telemetry.Appender
-	inletApp []*telemetry.Appender
-	// heatScratch is the physics tick's per-zone accumulator, reused
-	// across ticks (the engine is single-threaded).
-	heatScratch []float64
-	rackOf      []int // server index -> rack index
-	zoneOf      []int // server index -> zone index
-	tripped     int
-	cancels     []sim.Cancel
-	attached    bool
+	// The per-entity series form one synchronously-sampled frame: server
+	// i's power and utilization occupy columns 2i and 2i+1, the zone
+	// inlets follow. A sample round fills frameBuf and hands the store
+	// one columnar append — no per-key locking, hashing, or pyramid
+	// walks (the §5.3 ingest fast path).
+	frames   *telemetry.FrameWriter
+	frameBuf []float64
+	rackOf   []int // server index -> rack index
+	zoneOf   []int // server index -> zone index
+	// zoneServers lists server indexes per zone (rebuilt on reorder), so
+	// zone-scoped control loops avoid O(N) scans.
+	zoneServers [][]int
+	// zoneMinTripC is the lowest protective-trip threshold in each zone:
+	// the physics tick only walks a zone's servers when its inlet exceeds
+	// this, keeping the steady-state tick O(zones) instead of O(servers)
+	// while preserving exact trip semantics.
+	zoneMinTripC []float64
+	tripped      int
+	cancels      []sim.Cancel
+	attached     bool
 }
 
 // NewDataCenter builds and wires the facility.
@@ -105,29 +112,39 @@ func NewDataCenter(e *sim.Engine, cfg DataCenterConfig) (*DataCenter, error) {
 		rackOf: make([]int, nServers),
 		zoneOf: make([]int, nServers),
 	}
-	for i, s := range fleet.Servers() {
+	for i := range fleet.Servers() {
 		rack := i / cfg.ServersPerRack
 		dc.rackOf[i] = rack
 		dc.zoneOf[i] = cfg.ZoneOfRack[rack]
-		s := s // capture for the load closure
-		topo.Racks[rack].AddLoad(func() float64 { return s.Power() })
 	}
+	// One load closure per rack reading the fleet's maintained per-rack
+	// sum — the power tree no longer fans out to N per-server closures.
+	if err := fleet.SetPowerGroups(dc.rackOf, dc.zoneOf, len(topo.Racks), room.Zones()); err != nil {
+		return nil, err
+	}
+	for r := range topo.Racks {
+		r := r // capture for the load closure
+		topo.Racks[r].AddLoad(func() float64 { return fleet.RackPowerW(r) })
+	}
+	dc.rebuildZoneIndex()
 	e.Register(topo)
 	if cfg.SampleEvery > 0 {
 		dc.store, err = telemetry.NewStore(telemetry.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}
-		dc.powerApp = make([]*telemetry.Appender, nServers)
-		dc.utilApp = make([]*telemetry.Appender, nServers)
+		keys := make([]string, 0, 2*nServers+room.Zones())
 		for i := 0; i < nServers; i++ {
-			dc.powerApp[i] = dc.store.Appender(fmt.Sprintf("srv%04d/power", i))
-			dc.utilApp[i] = dc.store.Appender(fmt.Sprintf("srv%04d/util", i))
+			keys = append(keys, fmt.Sprintf("srv%04d/power", i), fmt.Sprintf("srv%04d/util", i))
 		}
-		dc.inletApp = make([]*telemetry.Appender, room.Zones())
-		for z := range dc.inletApp {
-			dc.inletApp[z] = dc.store.Appender(fmt.Sprintf("zone%02d/inlet", z))
+		for z := 0; z < room.Zones(); z++ {
+			keys = append(keys, fmt.Sprintf("zone%02d/inlet", z))
 		}
+		dc.frames, err = dc.store.Frames(keys)
+		if err != nil {
+			return nil, err
+		}
+		dc.frameBuf = make([]float64, len(keys))
 	}
 	return dc, nil
 }
@@ -151,15 +168,29 @@ func (dc *DataCenter) ZoneOfServer(i int) int { return dc.zoneOf[i] }
 // fleet's current activation order).
 func (dc *DataCenter) RackOfServer(i int) int { return dc.rackOf[i] }
 
-// ServersInZone returns the indexes of servers in zone z.
-func (dc *DataCenter) ServersInZone(z int) []int {
-	var out []int
-	for i, zz := range dc.zoneOf {
-		if zz == z {
-			out = append(out, i)
+// ServersInZone returns the indexes of servers in zone z. The slice is
+// the data center's precomputed index (rebuilt on reorder): do not
+// mutate.
+func (dc *DataCenter) ServersInZone(z int) []int { return dc.zoneServers[z] }
+
+// rebuildZoneIndex recomputes the zone→servers index and per-zone
+// minimum trip thresholds from the current order-indexed zone map.
+func (dc *DataCenter) rebuildZoneIndex() {
+	if dc.zoneServers == nil {
+		dc.zoneServers = make([][]int, dc.room.Zones())
+		dc.zoneMinTripC = make([]float64, dc.room.Zones())
+	}
+	for z := range dc.zoneServers {
+		dc.zoneServers[z] = dc.zoneServers[z][:0]
+		dc.zoneMinTripC[z] = math.Inf(1)
+	}
+	servers := dc.fleet.Servers()
+	for i, z := range dc.zoneOf {
+		dc.zoneServers[z] = append(dc.zoneServers[z], i)
+		if t := servers[i].Config().TripTempC; t < dc.zoneMinTripC[z] {
+			dc.zoneMinTripC[z] = t
 		}
 	}
-	return out
 }
 
 // Attach wires the facility onto the engine: room physics and CRAC
@@ -173,28 +204,27 @@ func (dc *DataCenter) Attach() (sim.Cancel, error) {
 	dc.cancels = append(dc.cancels, dc.room.Attach(dc.engine))
 
 	// Couple servers ↔ room on the physics tick: zone heat in, inlet
-	// temperatures (and protective trips, §2.2) out.
+	// temperatures (and protective trips, §2.2) out. Zone heat comes from
+	// the fleet's maintained per-zone sums and the trip scan only enters
+	// zones whose inlet exceeds the zone's lowest trip threshold, so the
+	// steady-state tick is O(zones), not O(servers).
 	dc.cancels = append(dc.cancels, dc.engine.Every(dc.room.PhysicsTick(), func(e *sim.Engine) {
 		now := e.Now()
-		if dc.heatScratch == nil {
-			dc.heatScratch = make([]float64, dc.room.Zones())
-		}
-		heat := dc.heatScratch
-		for z := range heat {
-			heat[z] = 0
-		}
-		for i, s := range dc.fleet.Servers() {
-			s.Sync(now)
-			heat[dc.zoneOf[i]] += s.Power()
-		}
-		for z, h := range heat {
-			if err := dc.room.SetZoneHeat(z, h); err != nil {
+		servers := dc.fleet.Servers()
+		for z := 0; z < dc.room.Zones(); z++ {
+			if err := dc.room.SetZoneHeat(z, dc.fleet.ZonePowerW(z)); err != nil {
 				panic(fmt.Sprintf("core: zone heat: %v", err)) // zones validated at construction
 			}
 		}
-		for i, s := range dc.fleet.Servers() {
-			if s.ObserveInlet(now, dc.room.ZoneInletC(dc.zoneOf[i])) {
-				dc.tripped++
+		for z := range dc.zoneServers {
+			inlet := dc.room.ZoneInletC(z)
+			if inlet <= dc.zoneMinTripC[z] {
+				continue
+			}
+			for _, i := range dc.zoneServers[z] {
+				if servers[i].ObserveInlet(now, inlet) {
+					dc.tripped++
+				}
 			}
 		}
 	}))
@@ -211,23 +241,24 @@ func (dc *DataCenter) Attach() (sim.Cancel, error) {
 	}, nil
 }
 
-// sample pushes one telemetry round into the store through the interned
-// per-entity handles.
+// sample pushes one telemetry round into the store as a single columnar
+// frame append. Power is piecewise-constant between events, so no
+// per-server Sync is needed to read it; the fleet's running sums are
+// rebased here periodically to shed incremental float drift.
 func (dc *DataCenter) sample(now time.Duration) {
-	for i, s := range dc.fleet.Servers() {
-		s.Sync(now)
-		if err := dc.powerApp[i].Append(now, s.Power()); err != nil {
-			panic(fmt.Sprintf("core: telemetry: %v", err)) // single writer, monotone time
-		}
-		if err := dc.utilApp[i].Append(now, s.Utilization()); err != nil {
-			panic(fmt.Sprintf("core: telemetry: %v", err))
-		}
+	servers := dc.fleet.Servers()
+	for i, s := range servers {
+		dc.frameBuf[2*i] = s.Power()
+		dc.frameBuf[2*i+1] = s.Utilization()
 	}
-	for z, a := range dc.inletApp {
-		if err := a.Append(now, dc.room.ZoneInletC(z)); err != nil {
-			panic(fmt.Sprintf("core: telemetry: %v", err))
-		}
+	base := 2 * len(servers)
+	for z := 0; z < dc.room.Zones(); z++ {
+		dc.frameBuf[base+z] = dc.room.ZoneInletC(z)
 	}
+	if err := dc.frames.Append(now, dc.frameBuf); err != nil {
+		panic(fmt.Sprintf("core: telemetry: %v", err)) // single writer, monotone time
+	}
+	dc.fleet.MaybeRebase()
 }
 
 // PreferCoolingSensitiveZones reorders the fleet so servers in zones the
@@ -253,6 +284,7 @@ func (dc *DataCenter) PreferCoolingSensitiveZones() error {
 		rackOf[i] = dc.rackOf[p]
 	}
 	dc.zoneOf, dc.rackOf = zoneOf, rackOf
+	dc.rebuildZoneIndex()
 	return nil
 }
 

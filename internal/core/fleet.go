@@ -18,15 +18,55 @@ import (
 	"repro/internal/workload"
 )
 
+// rebaseEvery is how many MaybeRebase calls (telemetry sample rounds)
+// pass between exact recomputations of the floating-point running sums.
+// Incremental maintenance drifts by ~1 ulp per applied delta; rebasing at
+// this cadence keeps the drift many orders of magnitude below the 1e-6
+// golden-fixture tolerance while staying O(N) only once per window.
+const rebaseEvery = 64
+
 // Fleet manages an ordered set of servers as one elastic pool: power
 // servers up or down to a target count, dispatch offered load over the
 // active ones, and report aggregate capacity and power.
+//
+// The fleet is the single Watcher of all its servers and maintains a
+// struct-of-arrays power plane: per-slot instantaneous draw plus running
+// totals (power, energy, trips, on/active counts) and optional per-rack /
+// per-zone sums, updated in O(1) per server transition. Aggregate
+// accessors are therefore O(1) reads instead of O(N) rescans, which is
+// what lets the physics tick, telemetry sample, and control loops stay
+// proportional to what changed rather than fleet size.
 type Fleet struct {
 	servers []*server.Server
 	engine  *sim.Engine
 	// switchOns counts power-on transitions (oscillation diagnostic).
 	switchOns  int
 	switchOffs int
+
+	// bySlot is the construction-order view of the fleet; Reorder permutes
+	// only the activation order (servers), never slots, so slot-indexed
+	// arrays stay valid across reorders.
+	bySlot []*server.Server
+	// powerW is the SoA power plane: instantaneous draw per slot, written
+	// by ServerChanged on every power-affecting transition.
+	powerW []float64
+	// Running aggregates maintained from notification deltas.
+	powerTotal  float64
+	energyTotal float64
+	onCount     int
+	activeCount int
+	tripsTotal  int
+	// Optional grouping (installed by SetPowerGroups): slot→rack and
+	// slot→zone with per-group running power sums. Physical placement is
+	// slot-invariant, so these survive Reorder.
+	rackOfSlot []int
+	zoneOfSlot []int
+	rackPower  []float64
+	zonePower  []float64
+	rebaseTick int
+	// Dispatch scratch, reused across calls (engine is single-threaded).
+	capsBuf []float64
+	utilBuf []float64
 }
 
 // NewFleet builds a fleet of n servers from cfg, all initially off.
@@ -35,7 +75,11 @@ func NewFleet(e *sim.Engine, cfg server.Config, n int) (*Fleet, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: fleet size %d must be positive", n)
 	}
-	f := &Fleet{engine: e, servers: make([]*server.Server, 0, n)}
+	f := &Fleet{
+		engine:  e,
+		servers: make([]*server.Server, 0, n),
+		powerW:  make([]float64, n),
+	}
 	for i := 0; i < n; i++ {
 		c := cfg
 		c.Name = fmt.Sprintf("%s-%03d", cfg.Name, i)
@@ -44,9 +88,191 @@ func NewFleet(e *sim.Engine, cfg server.Config, n int) (*Fleet, error) {
 			return nil, err
 		}
 		f.servers = append(f.servers, s)
+		s.Watch(i, f)
 	}
+	f.bySlot = append([]*server.Server(nil), f.servers...)
+	f.capsBuf = make([]float64, n)
+	f.utilBuf = make([]float64, n)
 	e.Register(f)
 	return f, nil
+}
+
+// ServerChanged implements server.Watcher: it folds one server's
+// transition delta into the SoA plane and the running aggregates.
+func (f *Fleet) ServerChanged(slot int, c server.Change) {
+	f.powerW[slot] = c.NewPowerW
+	d := c.NewPowerW - c.OldPowerW
+	f.powerTotal += d
+	f.energyTotal += c.EnergyDeltaJ
+	f.tripsTotal += c.TripDelta
+	if c.NewState != c.OldState {
+		if c.OldState == server.StateActive || c.OldState == server.StateBooting {
+			f.onCount--
+		}
+		if c.NewState == server.StateActive || c.NewState == server.StateBooting {
+			f.onCount++
+		}
+		if c.OldState == server.StateActive {
+			f.activeCount--
+		}
+		if c.NewState == server.StateActive {
+			f.activeCount++
+		}
+	}
+	if f.rackOfSlot != nil && d != 0 {
+		f.rackPower[f.rackOfSlot[slot]] += d
+		f.zonePower[f.zoneOfSlot[slot]] += d
+	}
+}
+
+// SetPowerGroups installs slot→rack and slot→zone maps and starts
+// maintaining per-group power sums. Call it before any Reorder, while
+// slot order and activation order still coincide; the maps are copied and
+// keyed by slot, so they remain correct afterwards (a server's physical
+// rack and zone never change).
+func (f *Fleet) SetPowerGroups(rackOf, zoneOf []int, nRacks, nZones int) error {
+	if len(rackOf) != len(f.bySlot) || len(zoneOf) != len(f.bySlot) {
+		return fmt.Errorf("core: power groups sized %d/%d for fleet of %d",
+			len(rackOf), len(zoneOf), len(f.bySlot))
+	}
+	for i := range rackOf {
+		if rackOf[i] < 0 || rackOf[i] >= nRacks {
+			return fmt.Errorf("core: slot %d mapped to invalid rack %d", i, rackOf[i])
+		}
+		if zoneOf[i] < 0 || zoneOf[i] >= nZones {
+			return fmt.Errorf("core: slot %d mapped to invalid zone %d", i, zoneOf[i])
+		}
+	}
+	f.rackOfSlot = append([]int(nil), rackOf...)
+	f.zoneOfSlot = append([]int(nil), zoneOf...)
+	f.rackPower = make([]float64, nRacks)
+	f.zonePower = make([]float64, nZones)
+	f.Rebase()
+	return nil
+}
+
+// RackPowerW reports the instantaneous draw of physical rack r
+// (requires SetPowerGroups). Clamped at zero: incremental maintenance
+// can leave an all-off group a few ulps below it.
+func (f *Fleet) RackPowerW(r int) float64 { return clampNonNeg(f.rackPower[r]) }
+
+// ZonePowerW reports the instantaneous draw dissipating into cooling
+// zone z (requires SetPowerGroups). Clamped at zero like RackPowerW.
+func (f *Fleet) ZonePowerW(z int) float64 { return clampNonNeg(f.zonePower[z]) }
+
+// clampNonNeg floors a maintained power sum at zero. Power is
+// physically non-negative; drift between rebases can undershoot by ulps.
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Rebase recomputes the floating-point running sums (total, per-rack and
+// per-zone power, total energy) exactly from the per-slot plane,
+// discarding accumulated incremental rounding drift. Counters (on,
+// active, trips) are deliberately left incremental so a missed
+// notification stays detectable by VerifyAggregates.
+func (f *Fleet) Rebase() {
+	var pw, en float64
+	for r := range f.rackPower {
+		f.rackPower[r] = 0
+	}
+	for z := range f.zonePower {
+		f.zonePower[z] = 0
+	}
+	for i, s := range f.bySlot {
+		p := f.powerW[i]
+		pw += p
+		en += s.EnergyJ()
+		if f.rackOfSlot != nil {
+			f.rackPower[f.rackOfSlot[i]] += p
+			f.zonePower[f.zoneOfSlot[i]] += p
+		}
+	}
+	f.powerTotal = pw
+	f.energyTotal = en
+}
+
+// MaybeRebase counts one sample boundary and rebases every rebaseEvery-th
+// call, amortizing the exact O(N) recompute over the sampling cadence.
+func (f *Fleet) MaybeRebase() {
+	f.rebaseTick++
+	if f.rebaseTick >= rebaseEvery {
+		f.rebaseTick = 0
+		f.Rebase()
+	}
+}
+
+// VerifyAggregates cross-validates the maintained aggregates against a
+// fresh full scan: counters and the per-slot plane must match exactly,
+// floating-point running sums within the drift a rebase window can
+// accumulate. A failure means a mutation path skipped its notification
+// (or drift escaped the rebase policy) and is reported loudly by the
+// invariant checker.
+func (f *Fleet) VerifyAggregates() error {
+	const (
+		relTol = 1e-7
+		absTol = 1e-6
+	)
+	on, active, trips := 0, 0, 0
+	var pw, en float64
+	for i, s := range f.bySlot {
+		switch s.State() {
+		case server.StateActive:
+			on++
+			active++
+		case server.StateBooting:
+			on++
+		}
+		trips += s.Trips()
+		p := s.Power()
+		if p != f.powerW[i] {
+			return fmt.Errorf("core: slot %d power plane %v != server power %v", i, f.powerW[i], p)
+		}
+		pw += p
+		en += s.EnergyJ()
+	}
+	if on != f.onCount {
+		return fmt.Errorf("core: maintained on count %d != scan %d", f.onCount, on)
+	}
+	if active != f.activeCount {
+		return fmt.Errorf("core: maintained active count %d != scan %d", f.activeCount, active)
+	}
+	if trips != f.tripsTotal {
+		return fmt.Errorf("core: maintained trips %d != scan %d", f.tripsTotal, trips)
+	}
+	if !withinTol(f.powerTotal, pw, relTol, absTol) {
+		return fmt.Errorf("core: maintained power %v W != scan %v W", f.powerTotal, pw)
+	}
+	if !withinTol(f.energyTotal, en, relTol, absTol) {
+		return fmt.Errorf("core: maintained energy %v J != scan %v J", f.energyTotal, en)
+	}
+	if f.rackOfSlot != nil {
+		rp := make([]float64, len(f.rackPower))
+		zp := make([]float64, len(f.zonePower))
+		for i := range f.bySlot {
+			rp[f.rackOfSlot[i]] += f.powerW[i]
+			zp[f.zoneOfSlot[i]] += f.powerW[i]
+		}
+		for r := range rp {
+			if !withinTol(f.rackPower[r], rp[r], relTol, absTol) {
+				return fmt.Errorf("core: maintained rack %d power %v W != scan %v W", r, f.rackPower[r], rp[r])
+			}
+		}
+		for z := range zp {
+			if !withinTol(f.zonePower[z], zp[z], relTol, absTol) {
+				return fmt.Errorf("core: maintained zone %d power %v W != scan %v W", z, f.zonePower[z], zp[z])
+			}
+		}
+	}
+	return nil
+}
+
+// withinTol reports |a-b| <= relTol*max(|a|,|b|) + absTol.
+func withinTol(a, b, relTol, absTol float64) bool {
+	return math.Abs(a-b) <= relTol*math.Max(math.Abs(a), math.Abs(b))+absTol
 }
 
 // Servers exposes the underlying servers (shared slice: do not mutate).
@@ -56,27 +282,12 @@ func (f *Fleet) Servers() []*server.Server { return f.servers }
 func (f *Fleet) Size() int { return len(f.servers) }
 
 // OnCount reports servers that are active or booting (committed to be
-// on).
-func (f *Fleet) OnCount() int {
-	n := 0
-	for _, s := range f.servers {
-		if st := s.State(); st == server.StateActive || st == server.StateBooting {
-			n++
-		}
-	}
-	return n
-}
+// on). O(1): maintained from server notifications.
+func (f *Fleet) OnCount() int { return f.onCount }
 
-// ActiveCount reports fully-booted servers.
-func (f *Fleet) ActiveCount() int {
-	n := 0
-	for _, s := range f.servers {
-		if s.State() == server.StateActive {
-			n++
-		}
-	}
-	return n
-}
+// ActiveCount reports fully-booted servers. O(1): maintained from server
+// notifications.
+func (f *Fleet) ActiveCount() int { return f.activeCount }
 
 // Switches reports cumulative power-on and power-off transitions.
 func (f *Fleet) Switches() (ons, offs int) { return f.switchOns, f.switchOffs }
@@ -145,11 +356,13 @@ func (f *Fleet) Reorder(perm []int) error {
 	return nil
 }
 
-// Sync advances every server's energy accounting to now.
+// Sync advances every server's energy accounting to now and rebases the
+// running sums, so aggregate reads right after a Sync are exact.
 func (f *Fleet) Sync(now time.Duration) {
 	for _, s := range f.servers {
 		s.Sync(now)
 	}
+	f.Rebase()
 }
 
 // SetPStateAll moves every server to the given DVFS index.
@@ -174,9 +387,14 @@ func (f *Fleet) Capacities() []float64 {
 
 // Dispatch spreads offered load over the active servers and applies the
 // resulting utilizations. It returns the dispatch (including dropped
-// load) and the highest per-server utilization.
+// load) and the highest per-server utilization. The returned dispatch's
+// Utilizations slice is fleet-owned scratch, valid only until the next
+// Dispatch call; copy it to retain.
 func (f *Fleet) Dispatch(now time.Duration, offered float64) (workload.Dispatch, float64) {
-	d := workload.SpreadLoad(offered, f.Capacities())
+	for i, s := range f.servers {
+		f.capsBuf[i] = s.AvailableCapacity()
+	}
+	d := workload.SpreadLoadInto(f.utilBuf, offered, f.capsBuf)
 	var maxU float64
 	for i, s := range f.servers {
 		s.SetUtilization(now, d.Utilizations[i])
@@ -185,29 +403,15 @@ func (f *Fleet) Dispatch(now time.Duration, offered float64) (workload.Dispatch,
 	return d, maxU
 }
 
-// PowerW reports the instantaneous total fleet draw.
-func (f *Fleet) PowerW() float64 {
-	var total float64
-	for _, s := range f.servers {
-		total += s.Power()
-	}
-	return total
-}
+// PowerW reports the instantaneous total fleet draw. O(1): maintained
+// from server notifications, exactly rebased at sample boundaries, and
+// clamped at zero like the per-group sums.
+func (f *Fleet) PowerW() float64 { return clampNonNeg(f.powerTotal) }
 
 // EnergyJ reports the cumulative fleet energy through the last Sync.
-func (f *Fleet) EnergyJ() float64 {
-	var total float64
-	for _, s := range f.servers {
-		total += s.EnergyJ()
-	}
-	return total
-}
+// O(1): Sync rebases, so this is the exact per-server sum at that point.
+func (f *Fleet) EnergyJ() float64 { return f.energyTotal }
 
 // Trips reports the total protective thermal shutdowns across the fleet.
-func (f *Fleet) Trips() int {
-	n := 0
-	for _, s := range f.servers {
-		n += s.Trips()
-	}
-	return n
-}
+// O(1): maintained from server notifications.
+func (f *Fleet) Trips() int { return f.tripsTotal }

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// scanAggregates recomputes the fleet aggregates the slow way, straight
+// from the servers — the reference the maintained counters must match.
+func scanAggregates(f *Fleet) (on, active, trips int, powerW, energyJ float64) {
+	for _, s := range f.Servers() {
+		switch s.State() {
+		case server.StateActive:
+			on++
+			active++
+		case server.StateBooting:
+			on++
+		}
+		trips += s.Trips()
+		powerW += s.Power()
+		energyJ += s.EnergyJ()
+	}
+	return on, active, trips, powerW, energyJ
+}
+
+func requireAggregatesMatchScan(t *testing.T, f *Fleet) {
+	t.Helper()
+	on, active, trips, powerW, energyJ := scanAggregates(f)
+	if f.OnCount() != on {
+		t.Errorf("OnCount = %d, scan = %d", f.OnCount(), on)
+	}
+	if f.ActiveCount() != active {
+		t.Errorf("ActiveCount = %d, scan = %d", f.ActiveCount(), active)
+	}
+	if f.Trips() != trips {
+		t.Errorf("Trips = %d, scan = %d", f.Trips(), trips)
+	}
+	if !withinTol(f.PowerW(), powerW, 1e-9, 1e-9) {
+		t.Errorf("PowerW = %v, scan = %v", f.PowerW(), powerW)
+	}
+	if !withinTol(f.EnergyJ(), energyJ, 1e-9, 1e-6) {
+		t.Errorf("EnergyJ = %v, scan = %v", f.EnergyJ(), energyJ)
+	}
+	if err := f.VerifyAggregates(); err != nil {
+		t.Errorf("VerifyAggregates: %v", err)
+	}
+}
+
+// TestAggregatesMatchScanAfterFaults drives the fleet through the ugly
+// lifecycle corners — aborted boots, crashes, thermal trips, re-boots —
+// and checks the maintained counters against a fresh scan at every stage.
+func TestAggregatesMatchScanAfterFaults(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := testServerConfig()
+	f, err := NewFleet(e, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAggregatesMatchScan(t, f)
+
+	// Boot six; abort two of them mid-boot.
+	f.SetTarget(6)
+	requireAggregatesMatchScan(t, f)
+	if err := e.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	f.SetTarget(4) // sheds booting servers: Booting→ShuttingDown aborts
+	requireAggregatesMatchScan(t, f)
+	if err := e.Run(cfg.BootDelay + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if f.ActiveCount() != 4 {
+		t.Fatalf("ActiveCount = %d after aborted boots, want 4", f.ActiveCount())
+	}
+	requireAggregatesMatchScan(t, f)
+
+	// Put load on, then crash one server and trip another.
+	f.Dispatch(e.Now(), 2000)
+	requireAggregatesMatchScan(t, f)
+	servers := f.Servers()
+	if !servers[0].Crash(e.Now()) {
+		t.Fatal("crash did not take")
+	}
+	if !servers[1].ObserveInlet(e.Now(), cfg.TripTempC+2) {
+		t.Fatal("trip did not take")
+	}
+	requireAggregatesMatchScan(t, f)
+	if f.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1", f.Trips())
+	}
+
+	// Recover: boot back up, complete, and re-dispatch.
+	f.SetTarget(6)
+	requireAggregatesMatchScan(t, f)
+	if err := e.Run(e.Now() + cfg.BootDelay + time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	f.Dispatch(e.Now(), 3000)
+	f.Sync(e.Now())
+	requireAggregatesMatchScan(t, f)
+}
+
+// aggregateTrajectory runs a seeded random op sequence (boots, sheds,
+// DVFS moves, throttles, core parking, crashes, trips, dispatches) over a
+// fleet of size n, verifying SoA aggregates against a scan as it goes,
+// and returns the observable aggregate trajectory for determinism checks.
+func aggregateTrajectory(t *testing.T, seed int64, n, steps int) []float64 {
+	t.Helper()
+	e := sim.NewEngine(1)
+	cfg := testServerConfig()
+	f, err := NewFleet(e, cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic rack/zone grouping so per-group sums are exercised too.
+	rackOf := make([]int, n)
+	zoneOf := make([]int, n)
+	nRacks := (n + 3) / 4
+	for i := range rackOf {
+		rackOf[i] = i / 4
+		zoneOf[i] = i % 3
+	}
+	if err := f.SetPowerGroups(rackOf, zoneOf, nRacks, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var traj []float64
+	now := time.Duration(0)
+	for step := 0; step < steps; step++ {
+		now += time.Duration(rng.Intn(30)+1) * time.Second
+		if err := e.Run(now); err != nil {
+			t.Fatal(err)
+		}
+		s := f.Servers()[rng.Intn(n)]
+		switch rng.Intn(10) {
+		case 0:
+			s.PowerOn(e)
+		case 1:
+			s.PowerOff(e)
+		case 2:
+			s.SetUtilization(e.Now(), rng.Float64()*1.2-0.1) // incl. clamped values
+		case 3:
+			if err := s.SetPState(e.Now(), rng.Intn(len(cfg.PStates))); err != nil {
+				t.Fatal(err)
+			}
+		case 4:
+			if err := s.SetThrottle(e.Now(), 0.2+0.8*rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		case 5:
+			if err := s.ParkCores(e.Now(), rng.Intn(cfg.Cores)); err != nil {
+				t.Fatal(err)
+			}
+		case 6:
+			s.Crash(e.Now())
+		case 7:
+			// Sometimes above the trip threshold, sometimes below.
+			s.ObserveInlet(e.Now(), cfg.TripTempC-5+rng.Float64()*10)
+		case 8:
+			f.SetTarget(rng.Intn(n + 1))
+		case 9:
+			f.Dispatch(e.Now(), rng.Float64()*cfg.Capacity*float64(n))
+		}
+		if step%7 == 0 {
+			requireAggregatesMatchScan(t, f)
+		}
+		if step%11 == 0 {
+			f.MaybeRebase()
+		}
+		traj = append(traj, f.PowerW(), f.EnergyJ(),
+			float64(f.OnCount()), float64(f.ActiveCount()), float64(f.Trips()))
+	}
+	f.Sync(e.Now())
+	requireAggregatesMatchScan(t, f)
+	traj = append(traj, f.PowerW(), f.EnergyJ())
+	return traj
+}
+
+// TestAggregatesPropertyRandom asserts, across fleet sizes and seeds,
+// that the incrementally maintained aggregates track a full recompute
+// through arbitrary op interleavings, and that the whole observable
+// trajectory is bitwise deterministic across two same-seed runs.
+func TestAggregatesPropertyRandom(t *testing.T) {
+	for _, n := range []int{1, 7, 32, 129} {
+		for seed := int64(1); seed <= 3; seed++ {
+			a := aggregateTrajectory(t, seed, n, 150)
+			b := aggregateTrajectory(t, seed, n, 150)
+			if len(a) != len(b) {
+				t.Fatalf("n=%d seed=%d: trajectory lengths differ: %d vs %d", n, seed, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d seed=%d: trajectories diverge at %d: %v vs %v", n, seed, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

@@ -31,7 +31,12 @@ type Result interface {
 // engine is still seeded exactly as before.
 type Env struct {
 	// Seed is the run's deterministic seed.
-	Seed  int64
+	Seed int64
+	// Scale multiplies the facility size of the fig4-family experiments
+	// (servers per rack, rack power ratings, zone airflow, plant fans),
+	// so scale runs are reproducible from the CLI. 0 or 1 is the paper's
+	// scale and produces byte-identical results to the pre-knob runs.
+	Scale int
 	probe sim.Probe
 	// checker asserts physical-law invariants after every event of every
 	// engine this run creates. Armed by default; DisarmInvariants turns
@@ -43,6 +48,14 @@ type Env struct {
 // checking armed.
 func NewEnv(seed int64) *Env {
 	return &Env{Seed: seed, checker: invariant.NewChecker()}
+}
+
+// FleetScale reports the effective facility multiplier (minimum 1).
+func (v *Env) FleetScale() int {
+	if v.Scale < 1 {
+		return 1
+	}
+	return v.Scale
 }
 
 // DisarmInvariants turns off runtime invariant checking for engines

@@ -60,23 +60,27 @@ func (r FaultOutageResult) Report() string {
 	return b.String()
 }
 
-// outageFacility is the 32-server facility the outage scenarios share.
-func outageFacility(e *sim.Engine) (*core.DataCenter, error) {
+// outageFacility is the 32·scale-server facility the outage scenarios
+// share (scale 1 = the paper-scale 32 servers).
+func outageFacility(e *sim.Engine, scale int) (*core.DataCenter, error) {
+	if scale < 1 {
+		scale = 1
+	}
 	srvCfg := server.DefaultConfig()
 	plant := cooling.DefaultPlantConfig()
-	plant.FanRatedW = 2_000
+	plant.FanRatedW = 2_000 * float64(scale)
 	dc, err := core.NewDataCenter(e, core.DataCenterConfig{
 		Name:           "dc-outage",
 		ServerConfig:   srvCfg,
-		ServersPerRack: 8,
+		ServersPerRack: 8 * scale,
 		Topology: power.TopologyConfig{
 			UPSCount: 1, PDUsPerUPS: 2, RacksPerPDU: 2,
-			RackRatedW: 2_900, Oversubscription: 1,
+			RackRatedW: 2_900 * float64(scale), Oversubscription: 1,
 		},
 		Room: cooling.RoomConfig{
 			Zones: []cooling.ZoneConfig{
-				cooling.DefaultZone("z0"), cooling.DefaultZone("z1"),
-				cooling.DefaultZone("z2"), cooling.DefaultZone("z3"),
+				scaledZone("z0", scale), scaledZone("z1", scale),
+				scaledZone("z2", scale), scaledZone("z3", scale),
 			},
 			CRACs:       []cooling.CRACConfig{cooling.DefaultCRAC("c0"), cooling.DefaultCRAC("c1")},
 			Sensitivity: [][]float64{{0.6, 0.3}, {0.5, 0.4}, {0.4, 0.5}, {0.3, 0.6}},
@@ -99,7 +103,7 @@ func RunFaultOutage(env *Env) (Result, error) {
 	runScenario := func(genFails bool) (OutageScenario, error) {
 		var s OutageScenario
 		e := env.NewEngine(env.Seed)
-		dc, err := outageFacility(e)
+		dc, err := outageFacility(e, env.FleetScale())
 		if err != nil {
 			return s, err
 		}
@@ -221,21 +225,22 @@ func (r FaultCRACResult) Report() string {
 func RunFaultCRAC(env *Env) (Result, error) {
 	srvCfg := server.DefaultConfig()
 	srvCfg.TripTempC = 33 // protection engages above the ASHRAE envelope
+	scale := env.FleetScale()
 	runScenario := func(managed bool) (CRACFailScenario, *core.Degrader, error) {
 		var s CRACFailScenario
 		e := env.NewEngine(env.Seed)
 		plant := cooling.DefaultPlantConfig()
-		plant.FanRatedW = 6_000
+		plant.FanRatedW = 6_000 * float64(scale)
 		dc, err := core.NewDataCenter(e, core.DataCenterConfig{
 			Name:           "dc-cracfail",
 			ServerConfig:   srvCfg,
-			ServersPerRack: 80,
+			ServersPerRack: 80 * scale,
 			Topology: power.TopologyConfig{
 				UPSCount: 1, PDUsPerUPS: 1, RacksPerPDU: 2,
-				RackRatedW: 26_400, Oversubscription: 1,
+				RackRatedW: 26_400 * float64(scale), Oversubscription: 1,
 			},
 			Room: cooling.RoomConfig{
-				Zones: []cooling.ZoneConfig{cooling.DefaultZone("za"), cooling.DefaultZone("zb")},
+				Zones: []cooling.ZoneConfig{scaledZone("za", scale), scaledZone("zb", scale)},
 				CRACs: []cooling.CRACConfig{cooling.DefaultCRAC("c0"), cooling.DefaultCRAC("c1")},
 				// Each unit dominates one zone: losing c0 starves za.
 				Sensitivity: [][]float64{{0.75, 0.15}, {0.15, 0.75}},

@@ -349,29 +349,43 @@ func (r Fig4Result) Report() string {
 	return b.String()
 }
 
+// scaledZone is a DefaultZone whose airflow carries `scale` times the
+// servers: the facility multiplier grows racks and the air moving
+// through them together, so zone temperature dynamics stay
+// representative at any scale (and identical at scale 1).
+func scaledZone(name string, scale int) cooling.ZoneConfig {
+	z := cooling.DefaultZone(name)
+	z.Airflow *= float64(scale)
+	return z
+}
+
 // RunFig4 assembles the facility and the coordinated manager together.
+// Env.Scale multiplies servers per rack (and the matching power/cooling
+// ratings), turning the paper-scale 40-server facility into a scale
+// benchmark with identical control structure.
 func RunFig4(env *Env) (Result, error) {
 	seed := env.Seed
+	scale := env.FleetScale()
 	e := env.NewEngine(seed)
 	srvCfg := server.DefaultConfig()
 	room := cooling.RoomConfig{
 		Zones: []cooling.ZoneConfig{
-			cooling.DefaultZone("z0"), cooling.DefaultZone("z1"),
-			cooling.DefaultZone("z2"), cooling.DefaultZone("z3"),
+			scaledZone("z0", scale), scaledZone("z1", scale),
+			scaledZone("z2", scale), scaledZone("z3", scale),
 		},
 		CRACs:       []cooling.CRACConfig{cooling.DefaultCRAC("c0"), cooling.DefaultCRAC("c1")},
 		Sensitivity: [][]float64{{0.6, 0.3}, {0.5, 0.4}, {0.4, 0.5}, {0.3, 0.6}},
 		PhysicsTick: cooling.DefaultPhysicsTick,
 	}
 	plant := cooling.DefaultPlantConfig()
-	plant.FanRatedW = 2_000
+	plant.FanRatedW = 2_000 * float64(scale)
 	dcCfg := core.DataCenterConfig{
 		Name:           "dc-fig4",
 		ServerConfig:   srvCfg,
-		ServersPerRack: 10,
+		ServersPerRack: 10 * scale,
 		Topology: power.TopologyConfig{
 			UPSCount: 1, PDUsPerUPS: 2, RacksPerPDU: 2,
-			RackRatedW: 4_000, Oversubscription: 1,
+			RackRatedW: 4_000 * float64(scale), Oversubscription: 1,
 		},
 		Room:        room,
 		ZoneOfRack:  []int{0, 1, 2, 3},
@@ -418,7 +432,9 @@ func RunFig4(env *Env) (Result, error) {
 		DecisionPeriod: time.Minute,
 		Mode:           core.ModeCoordinated,
 		InitialOn:      dc.Fleet().Size() / 2,
-		Trigger:        onoff.DelayTrigger{High: 60 * time.Millisecond, Low: 25 * time.Millisecond, StepUp: 1, StepDown: 1, Min: 1, Max: dc.Fleet().Size()},
+		// Steps scale with the facility so the controller's relative
+		// adjustment rate is the same at every -scale.
+		Trigger: onoff.DelayTrigger{High: 60 * time.Millisecond, Low: 25 * time.Millisecond, StepUp: scale, StepDown: scale, Min: 1, Max: dc.Fleet().Size()},
 	}
 	mgr, err := core.NewManagerForFleet(e, mgrCfg, dc.Fleet(), demand)
 	if err != nil {

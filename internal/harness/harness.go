@@ -41,6 +41,9 @@ type Config struct {
 	// every job otherwise runs with (see internal/invariant). The zero
 	// value keeps invariants armed.
 	DisarmInvariants bool
+	// Scale multiplies the facility size of the fig4-family experiments
+	// (see exp.Env.Scale). 0 or 1 is the paper's scale.
+	Scale int
 }
 
 // normalize applies the documented defaults.
@@ -132,7 +135,7 @@ func Run(cfg Config) ([]Summary, error) {
 					return
 				}
 				j := jobs[i]
-				results[i] = runJob(j.id, j.seed, j.rep, cfg.DisarmInvariants)
+				results[i] = runJob(j.id, j.seed, j.rep, cfg.DisarmInvariants, cfg.Scale)
 			}
 		}()
 	}
@@ -169,8 +172,9 @@ func Run(cfg Config) ([]Summary, error) {
 
 // runJob executes one (experiment, seed) pair in a fresh environment and
 // captures the instrumentation the engines accumulated.
-func runJob(id string, seed int64, rep int, disarm bool) JobResult {
+func runJob(id string, seed int64, rep int, disarm bool, scale int) JobResult {
 	env := exp.NewEnv(seed)
+	env.Scale = scale
 	if disarm {
 		env.DisarmInvariants()
 	}

@@ -207,6 +207,13 @@ func (c *Checker) checkFleet(now time.Duration, f *core.Fleet) {
 	if a := f.ActiveCount(); a != active {
 		c.report("fleet-accounting", now, "ActiveCount %d != counted active %d", a, active)
 	}
+	// Cross-validate the fleet's incrementally maintained aggregates
+	// (SoA power plane, running totals, per-group sums) against a full
+	// recompute, so a mutation path that skipped its notification — or
+	// float drift escaping the rebase policy — fails loudly.
+	if err := f.VerifyAggregates(); err != nil {
+		c.report("fleet-aggregates", now, "%v", err)
+	}
 }
 
 // checkServer validates one server's state value, lifecycle transition

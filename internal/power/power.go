@@ -187,6 +187,25 @@ func (n *Node) Evaluate() Flow {
 	return f
 }
 
+// OutputW computes the power delivered by this node (Flow.OutW) without
+// building the Flow report — the cheap read for control loops that only
+// need the draw, e.g. per-rack cap enforcement.
+func (n *Node) OutputW() float64 {
+	var out float64
+	for _, c := range n.children {
+		co := c.OutputW()
+		out += co + c.loss.Loss(co, c.ratedW)
+	}
+	for _, l := range n.loads {
+		v := l()
+		if v < 0 {
+			v = 0
+		}
+		out += v
+	}
+	return out
+}
+
 // TotalLoss sums losses over the subtree.
 func (f Flow) TotalLoss() float64 {
 	total := f.LossW

@@ -221,6 +221,34 @@ func (c Config) dynFraction(u float64) float64 {
 	return 1
 }
 
+// Change is one observed power-affecting transition on a server, handed
+// to its Watcher. Deltas are exactly the differences the server's own
+// accounting produced, so a watcher that accumulates them maintains the
+// same aggregates a fresh scan would compute (up to float association).
+type Change struct {
+	// OldState and NewState bracket the lifecycle transition (equal when
+	// only power, energy, or the trip counter moved).
+	OldState, NewState State
+	// OldPowerW and NewPowerW bracket the instantaneous draw.
+	OldPowerW, NewPowerW float64
+	// EnergyDeltaJ is the energy accumulated since the last notification
+	// (integration plus any boot surcharge).
+	EnergyDeltaJ float64
+	// TripDelta is the protective-trip counter increment (0 or 1).
+	TripDelta int
+}
+
+// Watcher observes power-affecting changes on servers. A fleet installs
+// one watcher per server (see Watch) and maintains struct-of-arrays
+// aggregates — total and per-group power, committed/active counts,
+// energy, trips — in O(changes) instead of rescanning every server.
+type Watcher interface {
+	// ServerChanged is called after a mutation left the server with a
+	// different power draw, state, energy total, or trip count. slot is
+	// the identity the watcher registered the server under.
+	ServerChanged(slot int, c Change)
+}
+
 // Server is one simulated machine. Methods that change power-relevant
 // state integrate energy up to the supplied instant first, so total energy
 // is exact for piecewise-constant power.
@@ -241,6 +269,16 @@ type Server struct {
 	offAt    time.Duration // when a pending shutdown completes
 	inletC   float64
 	throttle float64 // T-state duty cycle in (0,1]; 1 = no throttling
+
+	// Notification hook: the watcher sees every power-affecting change,
+	// tagged with slot. seen* hold the values of the last notification so
+	// deltas are exact.
+	watcher    Watcher
+	slot       int
+	seenState  State
+	seenPowerW float64
+	seenEnergy float64
+	seenTrips  int
 }
 
 // New builds a server in the Off state.
@@ -306,7 +344,50 @@ func (s *Server) advance(now time.Duration) {
 
 // Sync integrates energy up to now and completes due transitions without
 // changing any setpoints. Call it before reading Power or EnergyJ mid-run.
-func (s *Server) Sync(now time.Duration) { s.advance(now) }
+func (s *Server) Sync(now time.Duration) {
+	s.advance(now)
+	s.notify()
+}
+
+// Watch installs w as the server's single watcher; notifications carry
+// slot as the server's identity. The delta baseline is the server's
+// current state, so install watchers before mutating. A nil w removes
+// the hook.
+func (s *Server) Watch(slot int, w Watcher) {
+	s.watcher = w
+	s.slot = slot
+	s.seenState = s.state
+	s.seenPowerW = s.Power()
+	s.seenEnergy = s.energyJ
+	s.seenTrips = s.trips
+}
+
+// notify hands the watcher the delta since the last notification, if
+// anything power-relevant moved. Every public mutator ends here, after
+// advance has integrated energy and completed due transitions.
+func (s *Server) notify() {
+	if s.watcher == nil {
+		return
+	}
+	p := s.Power()
+	if s.state == s.seenState && p == s.seenPowerW &&
+		s.energyJ == s.seenEnergy && s.trips == s.seenTrips {
+		return
+	}
+	c := Change{
+		OldState:     s.seenState,
+		NewState:     s.state,
+		OldPowerW:    s.seenPowerW,
+		NewPowerW:    p,
+		EnergyDeltaJ: s.energyJ - s.seenEnergy,
+		TripDelta:    s.trips - s.seenTrips,
+	}
+	s.seenState = s.state
+	s.seenPowerW = p
+	s.seenEnergy = s.energyJ
+	s.seenTrips = s.trips
+	s.watcher.ServerChanged(s.slot, c)
+}
 
 // Power reports the instantaneous wall draw in watts for the current
 // state, utilization, DVFS point, throttling, and core parking.
@@ -363,9 +444,11 @@ func (s *Server) SetUtilization(now time.Duration, u float64) {
 	s.advance(now)
 	if s.state != StateActive {
 		s.util = 0
+		s.notify()
 		return
 	}
 	s.util = math.Max(0, math.Min(1, u))
+	s.notify()
 }
 
 // SetPState moves the DVFS operating point at now. The index must be valid.
@@ -375,6 +458,7 @@ func (s *Server) SetPState(now time.Duration, idx int) error {
 	}
 	s.advance(now)
 	s.pstate = idx
+	s.notify()
 	return nil
 }
 
@@ -386,6 +470,7 @@ func (s *Server) SetThrottle(now time.Duration, duty float64) error {
 	}
 	s.advance(now)
 	s.throttle = duty
+	s.notify()
 	return nil
 }
 
@@ -396,6 +481,7 @@ func (s *Server) ParkCores(now time.Duration, n int) error {
 	}
 	s.advance(now)
 	s.parkedCores = n
+	s.notify()
 	return nil
 }
 
@@ -404,13 +490,17 @@ func (s *Server) ParkCores(now time.Duration, n int) error {
 func (s *Server) PowerOn(e *sim.Engine) {
 	s.advance(e.Now())
 	if s.state != StateOff {
+		s.notify()
 		return
 	}
 	s.state = StateBooting
 	s.boots++
 	s.energyJ += s.cfg.BootEnergy
 	s.readyAt = e.Now() + s.cfg.BootDelay
-	e.ScheduleAt(s.readyAt, func(eng *sim.Engine) { s.advance(eng.Now()) })
+	// The completion event must Sync (not bare advance) so the
+	// Booting→Active transition reaches the watcher.
+	e.ScheduleAt(s.readyAt, func(eng *sim.Engine) { s.Sync(eng.Now()) })
+	s.notify()
 }
 
 // PowerOff starts a graceful shutdown. It applies to Active servers and
@@ -421,12 +511,14 @@ func (s *Server) PowerOn(e *sim.Engine) {
 func (s *Server) PowerOff(e *sim.Engine) {
 	s.advance(e.Now())
 	if s.state != StateActive && s.state != StateBooting {
+		s.notify()
 		return
 	}
 	s.state = StateShuttingDown
 	s.util = 0
 	s.offAt = e.Now() + s.cfg.ShutdownDelay
-	e.ScheduleAt(s.offAt, func(eng *sim.Engine) { s.advance(eng.Now()) })
+	e.ScheduleAt(s.offAt, func(eng *sim.Engine) { s.Sync(eng.Now()) })
+	s.notify()
 }
 
 // Crash models an abrupt failure at now (fault injection): a powered-on
@@ -438,11 +530,13 @@ func (s *Server) PowerOff(e *sim.Engine) {
 func (s *Server) Crash(now time.Duration) bool {
 	s.advance(now)
 	if s.state != StateActive && s.state != StateBooting {
+		s.notify()
 		return false
 	}
 	s.state = StateOff
 	s.util = 0
 	s.crashes++
+	s.notify()
 	return true
 }
 
@@ -460,7 +554,9 @@ func (s *Server) ObserveInlet(now time.Duration, tempC float64) (tripped bool) {
 		s.state = StateOff
 		s.util = 0
 		s.trips++
+		s.notify()
 		return true
 	}
+	s.notify()
 	return false
 }

@@ -150,7 +150,20 @@ type Dispatch struct {
 // available capacities (units/second), filling proportionally — the
 // water-filling behaviour of a least-loaded balancer in steady state.
 func SpreadLoad(offered float64, capacities []float64) Dispatch {
-	d := Dispatch{Utilizations: make([]float64, len(capacities))}
+	return SpreadLoadInto(make([]float64, len(capacities)), offered, capacities)
+}
+
+// SpreadLoadInto is SpreadLoad writing into caller-owned scratch: dst
+// must have len(capacities) entries and becomes the returned dispatch's
+// Utilizations. Allocation-free, for per-tick dispatch paths.
+func SpreadLoadInto(dst []float64, offered float64, capacities []float64) Dispatch {
+	if len(dst) != len(capacities) {
+		panic(fmt.Sprintf("workload: scratch sized %d for %d capacities", len(dst), len(capacities)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	d := Dispatch{Utilizations: dst}
 	if offered <= 0 {
 		return d
 	}
@@ -187,10 +200,23 @@ func SpreadLoad(offered float64, capacities []float64) Dispatch {
 // (load "needs to be routed properly to remaining active systems", §4.3).
 // Returns per-server utilizations and unplaced load.
 func PackLoad(offered float64, capacities []float64, target float64) (Dispatch, error) {
+	return PackLoadInto(make([]float64, len(capacities)), offered, capacities, target)
+}
+
+// PackLoadInto is PackLoad writing into caller-owned scratch: dst must
+// have len(capacities) entries and becomes the returned dispatch's
+// Utilizations. Allocation-free, for per-tick dispatch paths.
+func PackLoadInto(dst []float64, offered float64, capacities []float64, target float64) (Dispatch, error) {
+	if len(dst) != len(capacities) {
+		panic(fmt.Sprintf("workload: scratch sized %d for %d capacities", len(dst), len(capacities)))
+	}
 	if target <= 0 || target > 1 {
 		return Dispatch{}, fmt.Errorf("workload: pack target %v out of (0,1]", target)
 	}
-	d := Dispatch{Utilizations: make([]float64, len(capacities))}
+	for i := range dst {
+		dst[i] = 0
+	}
+	d := Dispatch{Utilizations: dst}
 	remaining := offered
 	for i, c := range capacities {
 		if remaining <= 0 || c <= 0 {
