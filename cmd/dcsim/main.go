@@ -3,30 +3,51 @@
 // demand, optionally embedded in a full facility (power tree + cooling)
 // so PUE and thermal effects are reported too.
 //
+// Batch mode runs the horizon flat-out and prints a summary:
+//
 //	dcsim -mode coordinated -fleet 40 -days 3
 //	dcsim -mode oblivious -fleet 40 -days 3 -csv samples.csv
 //	dcsim -mode coordinated -facility -days 2
+//
+// Live mode (-serve) paces the same simulation against the wall clock
+// and serves it over HTTP — OpenMetrics at /metrics, JSON at
+// /api/v1/snapshot, SSE at /api/v1/stream:
+//
+//	dcsim -serve -facility -speedup 600 -listen 127.0.0.1:8080
+//
+// Same seed, same horizon, same flags ⇒ the live run's telemetry is
+// byte-identical to the batch run's: the pacer only slices the event
+// kernel's Run calls, which is outcome-neutral.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/carbon"
 	"repro/internal/cooling"
 	"repro/internal/core"
 	"repro/internal/onoff"
 	"repro/internal/power"
+	"repro/internal/serve"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dcsim:", err)
 		os.Exit(1)
 	}
@@ -49,58 +70,123 @@ func parseMode(s string) (core.PolicyMode, error) {
 	}
 }
 
-func run(args []string) error {
+// options carries the parsed command line.
+type options struct {
+	modeStr     string
+	fleet       int
+	days        int
+	seed        int64
+	slaMS       int
+	minFrac     float64
+	maxFrac     float64
+	csvPath     string
+	facility    bool
+	serveMode   bool
+	listen      string
+	speedup     float64
+	carbonBase  float64
+	carbonSwing float64
+}
+
+// validate collects every flag violation into one error, so a user with
+// three bad flags fixes all three after one run instead of playing
+// whack-a-mole. (This replaces the old early-return checks, which
+// reported only the first problem — and skipped -speedup entirely.)
+func (o options) validate() error {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if _, err := parseMode(o.modeStr); err != nil {
+		bad("-mode: %v", err)
+	}
+	if o.fleet <= 0 {
+		bad("-fleet %d must be positive", o.fleet)
+	}
+	if o.days <= 0 {
+		bad("-days %d must be positive", o.days)
+	}
+	if o.slaMS <= 0 {
+		bad("-sla %d must be positive", o.slaMS)
+	}
+	if o.minFrac < 0 {
+		bad("-min-load %v must be non-negative", o.minFrac)
+	}
+	if o.maxFrac > 1 {
+		bad("-max-load %v must be at most 1", o.maxFrac)
+	}
+	if o.minFrac >= o.maxFrac {
+		bad("-min-load %v must be below -max-load %v", o.minFrac, o.maxFrac)
+	}
+	if o.speedup <= 0 {
+		bad("-speedup %v must be positive", o.speedup)
+	}
+	if err := o.carbonModel().Validate(); err != nil {
+		bad("-carbon/-carbon-swing: %v", err)
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("invalid flags:\n  - %s", strings.Join(problems, "\n  - "))
+}
+
+func (o options) carbonModel() carbon.Model {
+	return carbon.Model{BaseGPerKWh: o.carbonBase, Swing: o.carbonSwing}
+}
+
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dcsim", flag.ContinueOnError)
-	modeStr := fs.String("mode", "coordinated", "policy mode")
-	fleet := fs.Int("fleet", 40, "fleet size")
-	days := fs.Int("days", 3, "simulated days")
-	seed := fs.Int64("seed", 1, "deterministic seed")
-	slaMS := fs.Int("sla", 100, "SLA response target (ms)")
-	minFrac := fs.Float64("min-load", 0.15, "night demand as fraction of fleet capacity")
-	maxFrac := fs.Float64("max-load", 0.50, "day demand as fraction of fleet capacity")
-	csvPath := fs.String("csv", "", "write per-decision samples to this CSV file")
-	facility := fs.Bool("facility", false, "embed the fleet in a full facility (power tree + cooling)")
+	var o options
+	fs.StringVar(&o.modeStr, "mode", "coordinated", "policy mode")
+	fs.IntVar(&o.fleet, "fleet", 40, "fleet size")
+	fs.IntVar(&o.days, "days", 3, "simulated days")
+	fs.Int64Var(&o.seed, "seed", 1, "deterministic seed")
+	fs.IntVar(&o.slaMS, "sla", 100, "SLA response target (ms)")
+	fs.Float64Var(&o.minFrac, "min-load", 0.15, "night demand as fraction of fleet capacity")
+	fs.Float64Var(&o.maxFrac, "max-load", 0.50, "day demand as fraction of fleet capacity")
+	fs.StringVar(&o.csvPath, "csv", "", "write per-decision samples to this CSV file")
+	fs.BoolVar(&o.facility, "facility", false, "embed the fleet in a full facility (power tree + cooling)")
+	fs.BoolVar(&o.serveMode, "serve", false, "serve the live simulation over HTTP instead of batch-running")
+	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "listen address for -serve")
+	fs.Float64Var(&o.speedup, "speedup", 60, "virtual seconds per wall second for -serve")
+	fs.Float64Var(&o.carbonBase, "carbon", carbon.DefaultGridGPerKWh, "grid carbon intensity base (gCO2e/kWh)")
+	fs.Float64Var(&o.carbonSwing, "carbon-swing", 0.2, "diurnal carbon intensity swing fraction [0,1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	mode, err := parseMode(*modeStr)
-	if err != nil {
+	if err := o.validate(); err != nil {
 		return err
 	}
-	if *days <= 0 || *fleet <= 0 {
-		return fmt.Errorf("days and fleet must be positive")
-	}
-	if *minFrac < 0 || *maxFrac > 1 || *minFrac >= *maxFrac {
-		return fmt.Errorf("load fractions must satisfy 0 <= min < max <= 1")
-	}
+	mode, _ := parseMode(o.modeStr)
 
 	srvCfg := server.DefaultConfig()
-	e := sim.NewEngine(*seed)
+	e := sim.NewEngine(o.seed)
 	demand := func(now time.Duration) float64 {
 		h := now.Hours() - 24*float64(int(now.Hours()/24))
-		frac := *minFrac + (*maxFrac-*minFrac)*0.5*(1+math.Cos(2*math.Pi*(h-14)/24))
-		return frac * float64(*fleet) * srvCfg.Capacity
+		frac := o.minFrac + (o.maxFrac-o.minFrac)*0.5*(1+math.Cos(2*math.Pi*(h-14)/24))
+		return frac * float64(o.fleet) * srvCfg.Capacity
 	}
 	mgrCfg := core.ManagerConfig{
 		ServerConfig:   srvCfg,
-		FleetSize:      *fleet,
+		FleetSize:      o.fleet,
 		Queue:          workload.DefaultQueueModel(),
-		SLA:            time.Duration(*slaMS) * time.Millisecond,
+		SLA:            time.Duration(o.slaMS) * time.Millisecond,
 		DecisionPeriod: time.Minute,
 		Mode:           mode,
 		DVFSTarget:     0.8,
 		Trigger: onoff.DelayTrigger{
-			High:   time.Duration(*slaMS) * time.Millisecond * 6 / 10,
-			Low:    time.Duration(*slaMS) * time.Millisecond / 4,
-			StepUp: 1, StepDown: 1, Min: 1, Max: *fleet,
+			High:   time.Duration(o.slaMS) * time.Millisecond * 6 / 10,
+			Low:    time.Duration(o.slaMS) * time.Millisecond / 4,
+			StepUp: 1, StepDown: 1, Min: 1, Max: o.fleet,
 		},
-		InitialOn: *fleet / 2,
-		Record:    *csvPath != "",
+		InitialOn: o.fleet / 2,
+		Record:    o.csvPath != "",
 	}
 
 	var dc *core.DataCenter
 	var mgr *core.Manager
-	if *facility {
+	var err error
+	if o.facility {
 		dc, mgr, err = buildFacility(e, srvCfg, mgrCfg, demand)
 		if err != nil {
 			return err
@@ -113,6 +199,11 @@ func run(args []string) error {
 	}
 	mgr.Start()
 
+	horizon := time.Duration(o.days) * 24 * time.Hour
+	if o.serveMode {
+		return runServe(e, mgr, dc, o, horizon, stdout)
+	}
+
 	var pueSum float64
 	var pueN int
 	if dc != nil {
@@ -124,25 +215,24 @@ func run(args []string) error {
 		})
 	}
 
-	horizon := time.Duration(*days) * 24 * time.Hour
 	if err := e.Run(horizon); err != nil {
 		return err
 	}
 	res := mgr.Result(horizon)
 
-	fmt.Printf("mode=%s fleet=%d days=%d seed=%d\n", res.Mode, *fleet, *days, *seed)
-	fmt.Printf("IT energy:        %.2f kWh\n", res.EnergyKWh)
-	fmt.Printf("mean active:      %.1f servers\n", res.MeanActive)
-	fmt.Printf("power switches:   %d on, %d off\n", res.SwitchOns, res.SwitchOffs)
-	fmt.Printf("SLA violations:   %.2f%% of decisions (worst %v)\n",
+	fmt.Fprintf(stdout, "mode=%s fleet=%d days=%d seed=%d\n", res.Mode, o.fleet, o.days, o.seed)
+	fmt.Fprintf(stdout, "IT energy:        %.2f kWh\n", res.EnergyKWh)
+	fmt.Fprintf(stdout, "mean active:      %.1f servers\n", res.MeanActive)
+	fmt.Fprintf(stdout, "power switches:   %d on, %d off\n", res.SwitchOns, res.SwitchOffs)
+	fmt.Fprintf(stdout, "SLA violations:   %.2f%% of decisions (worst %v)\n",
 		res.SLAViolationRate*100, res.WorstResponse.Round(time.Millisecond))
-	fmt.Printf("dropped load:     %.3f%%\n", res.DroppedFraction*100)
+	fmt.Fprintf(stdout, "dropped load:     %.3f%%\n", res.DroppedFraction*100)
 	if dc != nil && pueN > 0 {
-		fmt.Printf("mean PUE:         %.2f\n", pueSum/float64(pueN))
-		fmt.Printf("thermal trips:    %d\n", dc.Trips())
+		fmt.Fprintf(stdout, "mean PUE:         %.2f\n", pueSum/float64(pueN))
+		fmt.Fprintf(stdout, "thermal trips:    %d\n", dc.Trips())
 	}
 
-	if *csvPath != "" {
+	if o.csvPath != "" {
 		var b strings.Builder
 		b.WriteString("seconds,offered,active,pstate,power_w,response_ms,dropped\n")
 		for _, s := range res.Samples {
@@ -150,11 +240,62 @@ func run(args []string) error {
 				int64(s.At.Seconds()), s.Offered, s.Active, s.PState,
 				s.PowerW, float64(s.Response)/float64(time.Millisecond), s.Dropped)
 		}
-		if err := os.WriteFile(*csvPath, []byte(b.String()), 0o644); err != nil {
+		if err := os.WriteFile(o.csvPath, []byte(b.String()), 0o644); err != nil {
 			return err
 		}
-		fmt.Println("wrote", *csvPath)
+		fmt.Fprintln(stdout, "wrote", o.csvPath)
 	}
+	return nil
+}
+
+// runServe paces the assembled simulation against the wall clock and
+// serves it over HTTP until the horizon is reached or the process gets
+// SIGINT/SIGTERM.
+func runServe(e *sim.Engine, mgr *core.Manager, dc *core.DataCenter, o options, horizon time.Duration, stdout io.Writer) error {
+	src := serve.Source{Engine: e, Fleet: mgr.Fleet(), Manager: mgr, DC: dc}
+	srv, err := serve.NewServer(src, serve.Options{
+		Speedup: o.speedup,
+		Horizon: horizon,
+		Carbon:  o.carbonModel(),
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "dcsim: serving on http://%s (mode=%s fleet=%d speedup=%gx horizon=%s)\n",
+		ln.Addr(), o.modeStr, o.fleet, o.speedup, horizon)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+
+	paceErr := srv.Run(ctx)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutdownCtx)
+
+	select {
+	case err := <-httpErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	default:
+	}
+	if paceErr != nil && !errors.Is(paceErr, context.Canceled) {
+		return paceErr
+	}
+	snap := srv.Snapshot()
+	fmt.Fprintf(stdout, "dcsim: stopped at sim time %s (%d events, %.2f kWh, %.0f gCO2e)\n",
+		time.Duration(snap.SimTimeSeconds*float64(time.Second)).Round(time.Second),
+		snap.EventsProcessed, snap.EnergyJoules/3.6e6, snap.Carbon.GramsTotal)
 	return nil
 }
 

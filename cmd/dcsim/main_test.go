@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,14 +20,14 @@ func TestParseMode(t *testing.T) {
 }
 
 func TestRunSmallSimulation(t *testing.T) {
-	if err := run([]string{"-mode", "coordinated", "-fleet", "8", "-days", "1"}); err != nil {
+	if err := run([]string{"-mode", "coordinated", "-fleet", "8", "-days", "1"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithCSV(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "samples.csv")
-	if err := run([]string{"-mode", "onoff-only", "-fleet", "6", "-days", "1", "-csv", path}); err != nil {
+	if err := run([]string{"-mode", "onoff-only", "-fleet", "6", "-days", "1", "-csv", path}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -43,7 +44,7 @@ func TestRunWithCSV(t *testing.T) {
 }
 
 func TestRunFacility(t *testing.T) {
-	if err := run([]string{"-mode", "coordinated", "-fleet", "10", "-days", "1", "-facility"}); err != nil {
+	if err := run([]string{"-mode", "coordinated", "-fleet", "10", "-days", "1", "-facility"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -54,12 +55,51 @@ func TestRunValidation(t *testing.T) {
 		{"-days", "0"},
 		{"-fleet", "0"},
 		{"-min-load", "0.9", "-max-load", "0.5"},
+		{"-min-load", "-0.1"},
 		{"-max-load", "1.5"},
+		{"-speedup", "0"},
+		{"-speedup", "-2"},
+		{"-sla", "0"},
+		{"-carbon", "-10"},
+		{"-carbon-swing", "1.5"},
 		{"-not-a-flag"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) should error", args)
 		}
+	}
+}
+
+// TestRunValidationReportsEverything pins the bugfix: a command line with
+// several bad flags must come back with one error naming all of them, not
+// just the first — the old checks returned on the first hit and never
+// looked at -speedup at all.
+func TestRunValidationReportsEverything(t *testing.T) {
+	err := run([]string{
+		"-mode", "bogus", "-fleet", "0", "-days", "-1",
+		"-min-load", "0.9", "-max-load", "0.5", "-speedup", "0",
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("run should reject the flag set")
+	}
+	msg := err.Error()
+	for _, want := range []string{"-mode", "-fleet 0", "-days -1", "-min-load 0.9", "-speedup 0"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestValidateAcceptsDefaults guards against the aggregated validator
+// rejecting the documented defaults.
+func TestValidateAcceptsDefaults(t *testing.T) {
+	o := options{
+		modeStr: "coordinated", fleet: 40, days: 3, slaMS: 100,
+		minFrac: 0.15, maxFrac: 0.5, speedup: 60,
+		carbonBase: 475, carbonSwing: 0.2,
+	}
+	if err := o.validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
 	}
 }

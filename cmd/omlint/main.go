@@ -1,0 +1,45 @@
+// Command omlint validates an OpenMetrics text exposition read from
+// stdin (or from files given as arguments) against the subset of the
+// format this repo's /metrics endpoint promises: metadata-before-samples,
+// contiguous family blocks, _total-suffixed counters, unit-suffix naming,
+// and the trailing "# EOF". CI pipes a live scrape through it so a
+// writer regression fails the pipeline.
+//
+//	curl -s localhost:8080/metrics | omlint
+//	omlint scrape-a.txt scrape-b.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "omlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		return serve.Lint(data)
+	}
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := serve.Lint(data); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}

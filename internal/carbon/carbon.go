@@ -1,0 +1,121 @@
+// Package carbon converts the facility's electrical energy into carbon
+// emissions, making gCO2e/kWh a first-class output of the simulator the
+// way PUE already is. The paper argues elastic power management is an
+// operational discipline; in modern operations the quantity watched next
+// to watts is carbon, so the live serving surface exports both.
+//
+// The model is deliberately small and deterministic: a grid's carbon
+// intensity is a base level (gCO2e per kWh, the published annual average
+// for the grid mix) modulated by a diurnal swing that dips around midday
+// when solar generation peaks and rises overnight when dispatchable
+// fossil plants carry the load. That shape is what real-time intensity
+// feeds (electricityMap, WattTime) show for solar-heavy grids, reduced
+// to a cosine so simulation output stays reproducible from the seed.
+package carbon
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DefaultGridGPerKWh is a world-average grid intensity (gCO2e/kWh),
+// the conventional figure for an unspecified grid mix.
+const DefaultGridGPerKWh = 475
+
+// Model is a deterministic time-varying carbon-intensity curve.
+type Model struct {
+	// BaseGPerKWh is the mean grid intensity in gCO2e per kWh.
+	BaseGPerKWh float64
+	// Swing is the fractional diurnal modulation amplitude in [0, 1):
+	// intensity peaks at Base*(1+Swing) around 02:00 and bottoms at
+	// Base*(1-Swing) around 14:00 (solar midday). Zero is a flat grid.
+	Swing float64
+}
+
+// DefaultModel is the world-average grid with a 20 % solar diurnal swing.
+func DefaultModel() Model {
+	return Model{BaseGPerKWh: DefaultGridGPerKWh, Swing: 0.2}
+}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.BaseGPerKWh < 0 || math.IsNaN(m.BaseGPerKWh) || math.IsInf(m.BaseGPerKWh, 0) {
+		return fmt.Errorf("carbon: base intensity %v gCO2e/kWh must be finite and non-negative", m.BaseGPerKWh)
+	}
+	if m.Swing < 0 || m.Swing >= 1 || math.IsNaN(m.Swing) {
+		return fmt.Errorf("carbon: swing %v out of [0, 1)", m.Swing)
+	}
+	return nil
+}
+
+// IntensityAt reports the grid intensity (gCO2e/kWh) at virtual time t.
+// The curve is a 24 h cosine with its minimum at hour 14 — the same
+// phase convention as the diurnal demand model, so "load peak" and
+// "solar dip" coincide the way they do for a daytime-peaking service on
+// a solar-heavy grid.
+func (m Model) IntensityAt(t time.Duration) float64 {
+	if m.Swing == 0 {
+		return m.BaseGPerKWh
+	}
+	h := t.Hours() - 24*math.Floor(t.Hours()/24)
+	return m.BaseGPerKWh * (1 - m.Swing*math.Cos(2*math.Pi*(h-14)/24))
+}
+
+// Meter integrates emissions from a cumulative energy counter: feed it
+// (time, energy-so-far) observations and it accumulates grams of CO2e,
+// pricing each energy increment at the intensity of the interval's
+// midpoint. Observations must be non-decreasing in both time and energy.
+type Meter struct {
+	model   Model
+	started bool
+	lastT   time.Duration
+	lastJ   float64
+	grams   float64
+}
+
+// NewMeter builds a meter over a validated model.
+func NewMeter(m Model) (*Meter, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Meter{model: m}, nil
+}
+
+// Model returns the meter's intensity model.
+func (mt *Meter) Model() Model { return mt.model }
+
+// Observe accounts the energy accrued since the previous observation.
+// The first observation anchors the meter and accrues nothing.
+func (mt *Meter) Observe(t time.Duration, energyJ float64) error {
+	if math.IsNaN(energyJ) {
+		return fmt.Errorf("carbon: NaN energy")
+	}
+	if !mt.started {
+		mt.started = true
+		mt.lastT, mt.lastJ = t, energyJ
+		return nil
+	}
+	if t < mt.lastT {
+		return fmt.Errorf("carbon: time moved backwards %v -> %v", mt.lastT, t)
+	}
+	if energyJ < mt.lastJ {
+		return fmt.Errorf("carbon: energy counter decreased %v -> %v J", mt.lastJ, energyJ)
+	}
+	mid := mt.lastT + (t-mt.lastT)/2
+	mt.grams += (energyJ - mt.lastJ) / 3.6e6 * mt.model.IntensityAt(mid)
+	mt.lastT, mt.lastJ = t, energyJ
+	return nil
+}
+
+// Grams reports cumulative emissions in grams of CO2e.
+func (mt *Meter) Grams() float64 { return mt.grams }
+
+// RateGPerHour reports the instantaneous emission rate for a power draw
+// at virtual time t: watts × intensity, in grams CO2e per hour.
+func (m Model) RateGPerHour(t time.Duration, powerW float64) float64 {
+	if powerW < 0 {
+		powerW = 0
+	}
+	return powerW / 1000 * m.IntensityAt(t)
+}

@@ -1,0 +1,109 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestModelValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Model
+		ok   bool
+	}{
+		{"default", DefaultModel(), true},
+		{"flat", Model{BaseGPerKWh: 100}, true},
+		{"negative base", Model{BaseGPerKWh: -1}, false},
+		{"nan base", Model{BaseGPerKWh: math.NaN()}, false},
+		{"inf base", Model{BaseGPerKWh: math.Inf(1)}, false},
+		{"swing one", Model{BaseGPerKWh: 100, Swing: 1}, false},
+		{"negative swing", Model{BaseGPerKWh: 100, Swing: -0.1}, false},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestIntensityDiurnalShape(t *testing.T) {
+	m := Model{BaseGPerKWh: 400, Swing: 0.25}
+	// Minimum at hour 14 (solar midday), maximum at hour 2.
+	lo := m.IntensityAt(14 * time.Hour)
+	hi := m.IntensityAt(2 * time.Hour)
+	if want := 400 * 0.75; math.Abs(lo-want) > 1e-9 {
+		t.Errorf("midday intensity = %v, want %v", lo, want)
+	}
+	if want := 400 * 1.25; math.Abs(hi-want) > 1e-9 {
+		t.Errorf("overnight intensity = %v, want %v", hi, want)
+	}
+	// Periodic: same hour on day 3 matches day 0.
+	if a, b := m.IntensityAt(5*time.Hour), m.IntensityAt(77*time.Hour); math.Abs(a-b) > 1e-9 {
+		t.Errorf("intensity not 24h-periodic: %v vs %v", a, b)
+	}
+	// Flat grid is constant.
+	flat := Model{BaseGPerKWh: 300}
+	for h := 0; h < 24; h++ {
+		if got := flat.IntensityAt(time.Duration(h) * time.Hour); got != 300 {
+			t.Fatalf("flat grid intensity at %dh = %v", h, got)
+		}
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	mt, err := NewMeter(Model{BaseGPerKWh: 500}) // flat: easy arithmetic
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Observe(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if mt.Grams() != 0 {
+		t.Fatalf("grams after anchor = %v", mt.Grams())
+	}
+	// 3.6e6 J = 1 kWh at 500 g/kWh = 500 g.
+	if err := mt.Observe(time.Hour, 3.6e6); err != nil {
+		t.Fatal(err)
+	}
+	if g := mt.Grams(); math.Abs(g-500) > 1e-9 {
+		t.Fatalf("grams = %v, want 500", g)
+	}
+	// Monotone accumulation.
+	if err := mt.Observe(2*time.Hour, 5.4e6); err != nil {
+		t.Fatal(err)
+	}
+	if g := mt.Grams(); math.Abs(g-750) > 1e-9 {
+		t.Fatalf("grams = %v, want 750", g)
+	}
+}
+
+func TestMeterRejectsRegressions(t *testing.T) {
+	mt, err := NewMeter(DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Observe(time.Hour, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Observe(30*time.Minute, 200); err == nil {
+		t.Error("time regression accepted")
+	}
+	if err := mt.Observe(2*time.Hour, 50); err == nil {
+		t.Error("energy regression accepted")
+	}
+	if err := mt.Observe(2*time.Hour, math.NaN()); err == nil {
+		t.Error("NaN energy accepted")
+	}
+}
+
+func TestRateGPerHour(t *testing.T) {
+	m := Model{BaseGPerKWh: 400}
+	// 2 kW at 400 g/kWh = 800 g/h.
+	if got := m.RateGPerHour(0, 2000); math.Abs(got-800) > 1e-9 {
+		t.Errorf("rate = %v, want 800", got)
+	}
+	if got := m.RateGPerHour(0, -5); got != 0 {
+		t.Errorf("negative power rate = %v, want 0", got)
+	}
+}

@@ -161,6 +161,20 @@ func (dc *DataCenter) Topology() *power.Topology { return dc.topo }
 // Store exposes the telemetry store (nil unless sampling was enabled).
 func (dc *DataCenter) Store() *telemetry.Store { return dc.store }
 
+// Frames exposes the facility's columnar telemetry frame (nil unless
+// sampling was enabled). Column layout: server i's power and utilization
+// occupy columns 2i and 2i+1; zone z's inlet temperature is column
+// 2*Fleet().Size()+z (see ZoneInletColumn). Live exporters read the
+// open row through FrameWriter.LatestInto instead of re-aggregating.
+func (dc *DataCenter) Frames() *telemetry.FrameWriter { return dc.frames }
+
+// ZoneInletColumn reports the frame column holding zone z's inlet
+// temperature.
+func (dc *DataCenter) ZoneInletColumn(z int) int { return 2*dc.fleet.Size() + z }
+
+// SampleEvery reports the telemetry sampling period (0 when disabled).
+func (dc *DataCenter) SampleEvery() time.Duration { return dc.cfg.SampleEvery }
+
 // ZoneOfServer reports the cooling zone of server i.
 func (dc *DataCenter) ZoneOfServer(i int) int { return dc.zoneOf[i] }
 

@@ -64,6 +64,21 @@ type Fleet struct {
 	rackPower  []float64
 	zonePower  []float64
 	rebaseTick int
+	// Rebase recomputation scratch (same shape as rackPower/zonePower),
+	// so drift can be measured against the incremental sums before they
+	// are overwritten.
+	rackScratch []float64
+	zoneScratch []float64
+	// Pre-clamp rebase drift accounting: the clamped accessors (PowerW,
+	// RackPowerW, ZonePowerW) floor ulp-scale negative drift at zero,
+	// which is correct for physics but would silently absorb a real
+	// accounting bug. Each Rebase therefore records how far the
+	// incremental sums had wandered from the exact recompute — the
+	// magnitude the clamp would otherwise mask — and VerifyAggregates
+	// fails when it exceeds the tolerance a rebase window may accumulate.
+	lastRebaseDriftW float64 // max |incremental − exact| at the last rebase
+	maxRebaseDriftW  float64 // lifetime high-water mark of the above
+	lastRebaseRefW   float64 // exact total power at the last rebase (drift scale)
 	// Dispatch scratch, reused across calls (engine is single-threaded).
 	capsBuf []float64
 	utilBuf []float64
@@ -147,7 +162,12 @@ func (f *Fleet) SetPowerGroups(rackOf, zoneOf []int, nRacks, nZones int) error {
 	f.zoneOfSlot = append([]int(nil), zoneOf...)
 	f.rackPower = make([]float64, nRacks)
 	f.zonePower = make([]float64, nZones)
-	f.Rebase()
+	f.rackScratch = make([]float64, nRacks)
+	f.zoneScratch = make([]float64, nZones)
+	// Populate the just-installed (zeroed) group sums without measuring
+	// drift: they have no incremental history yet, so the gap to the
+	// exact sums is installation, not drift.
+	f.rebase(false)
 	return nil
 }
 
@@ -173,26 +193,57 @@ func clampNonNeg(v float64) float64 {
 // per-zone power, total energy) exactly from the per-slot plane,
 // discarding accumulated incremental rounding drift. Counters (on,
 // active, trips) are deliberately left incremental so a missed
-// notification stays detectable by VerifyAggregates.
-func (f *Fleet) Rebase() {
+// notification stays detectable by VerifyAggregates. The magnitude of
+// the discarded power drift is recorded (see RebaseDrift) rather than
+// silently absorbed.
+func (f *Fleet) Rebase() { f.rebase(true) }
+
+// rebase is Rebase with drift measurement optional: SetPowerGroups
+// skips it for the very first recompute over freshly zeroed group sums.
+func (f *Fleet) rebase(measure bool) {
 	var pw, en float64
-	for r := range f.rackPower {
-		f.rackPower[r] = 0
+	for r := range f.rackScratch {
+		f.rackScratch[r] = 0
 	}
-	for z := range f.zonePower {
-		f.zonePower[z] = 0
+	for z := range f.zoneScratch {
+		f.zoneScratch[z] = 0
 	}
 	for i, s := range f.bySlot {
 		p := f.powerW[i]
 		pw += p
 		en += s.EnergyJ()
 		if f.rackOfSlot != nil {
-			f.rackPower[f.rackOfSlot[i]] += p
-			f.zonePower[f.zoneOfSlot[i]] += p
+			f.rackScratch[f.rackOfSlot[i]] += p
+			f.zoneScratch[f.zoneOfSlot[i]] += p
 		}
 	}
+	if measure {
+		drift := math.Abs(f.powerTotal - pw)
+		for r := range f.rackScratch {
+			drift = math.Max(drift, math.Abs(f.rackPower[r]-f.rackScratch[r]))
+		}
+		for z := range f.zoneScratch {
+			drift = math.Max(drift, math.Abs(f.zonePower[z]-f.zoneScratch[z]))
+		}
+		f.lastRebaseDriftW = drift
+		f.lastRebaseRefW = math.Abs(pw)
+		if drift > f.maxRebaseDriftW {
+			f.maxRebaseDriftW = drift
+		}
+	}
+	copy(f.rackPower, f.rackScratch)
+	copy(f.zonePower, f.zoneScratch)
 	f.powerTotal = pw
 	f.energyTotal = en
+}
+
+// RebaseDrift reports the pre-clamp power drift the incremental sums
+// had accumulated when they were last rebased (lastW) and the largest
+// such drift seen over the fleet's lifetime (maxW). Live exporters
+// publish these as gauges so accounting decay is observable instead of
+// being floored away by the non-negative clamps.
+func (f *Fleet) RebaseDrift() (lastW, maxW float64) {
+	return f.lastRebaseDriftW, f.maxRebaseDriftW
 }
 
 // MaybeRebase counts one sample boundary and rebases every rebaseEvery-th
@@ -216,6 +267,15 @@ func (f *Fleet) VerifyAggregates() error {
 		relTol = 1e-7
 		absTol = 1e-6
 	)
+	// Recorded rebase drift must stay within the tolerance one rebase
+	// window can legitimately accumulate. Without this check, drift
+	// beyond tolerance would be discarded at the very Rebase that could
+	// have revealed it — and the non-negative clamps on the power
+	// accessors would keep masking the symptom in between.
+	if f.lastRebaseDriftW > relTol*f.lastRebaseRefW+absTol {
+		return fmt.Errorf("core: rebase discarded %v W of drift (exact total %v W), beyond tolerance",
+			f.lastRebaseDriftW, f.lastRebaseRefW)
+	}
 	on, active, trips := 0, 0, 0
 	var pw, en float64
 	for i, s := range f.bySlot {

@@ -181,6 +181,78 @@ func aggregateTrajectory(t *testing.T, seed int64, n, steps int) []float64 {
 	return traj
 }
 
+// TestRebaseRecordsDrift pins the drift-visibility fix: the non-negative
+// clamps on PowerW/RackPowerW/ZonePowerW floor ulp-scale drift, but the
+// magnitude discarded at each Rebase must be recorded, and drift beyond
+// the rebase-window tolerance must fail VerifyAggregates instead of
+// vanishing into the clamp.
+func TestRebaseRecordsDrift(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := bootedFleet(t, e, 8, 6)
+
+	f.Rebase()
+	last, max := f.RebaseDrift()
+	if last > 1e-9 {
+		t.Fatalf("healthy fleet recorded %v W of rebase drift", last)
+	}
+	if err := f.VerifyAggregates(); err != nil {
+		t.Fatalf("healthy fleet: %v", err)
+	}
+
+	// Inject drift well past what a rebase window can accumulate —
+	// the shape of a lost notification delta.
+	f.powerTotal += 3.5
+	f.Rebase()
+	last, max = f.RebaseDrift()
+	if last < 3.4 || last > 3.6 {
+		t.Fatalf("recorded drift = %v W, want ~3.5", last)
+	}
+	if max < last {
+		t.Fatalf("max drift %v below last %v", max, last)
+	}
+	if err := f.VerifyAggregates(); err == nil {
+		t.Fatal("VerifyAggregates passed despite out-of-tolerance rebase drift")
+	}
+
+	// A clean rebase clears the fresh-drift failure but keeps the
+	// lifetime high-water mark.
+	f.Rebase()
+	if err := f.VerifyAggregates(); err != nil {
+		t.Fatalf("after clean rebase: %v", err)
+	}
+	if _, max = f.RebaseDrift(); max < 3.4 {
+		t.Fatalf("lifetime max drift = %v, want ~3.5 retained", max)
+	}
+}
+
+// TestRebaseDriftCoversGroups injects drift into a per-zone sum only and
+// checks it is still seen (the clamped ZonePowerW accessor would have
+// masked a negative version of it entirely).
+func TestRebaseDriftCoversGroups(t *testing.T) {
+	e := sim.NewEngine(1)
+	f := bootedFleet(t, e, 8, 8)
+	rackOf := make([]int, 8)
+	zoneOf := make([]int, 8)
+	for i := range rackOf {
+		rackOf[i] = i / 4
+		zoneOf[i] = i / 4
+	}
+	if err := f.SetPowerGroups(rackOf, zoneOf, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if last, _ := f.RebaseDrift(); last != 0 {
+		t.Fatalf("SetPowerGroups installation measured as drift: %v W", last)
+	}
+	f.zonePower[1] -= 2.0 // negative drift: exactly what the clamp hides
+	f.Rebase()
+	if last, _ := f.RebaseDrift(); last < 1.9 || last > 2.1 {
+		t.Fatalf("zone drift recorded as %v W, want ~2", last)
+	}
+	if err := f.VerifyAggregates(); err == nil {
+		t.Fatal("VerifyAggregates passed despite zone-sum drift")
+	}
+}
+
 // TestAggregatesPropertyRandom asserts, across fleet sizes and seeds,
 // that the incrementally maintained aggregates track a full recompute
 // through arbitrary op interleavings, and that the whole observable

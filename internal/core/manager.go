@@ -221,6 +221,22 @@ func NewManagerForFleet(e *sim.Engine, cfg ManagerConfig, fleet *Fleet, demand D
 // Fleet exposes the managed fleet.
 func (m *Manager) Fleet() *Fleet { return m.fleet }
 
+// Mode reports the policy composition the manager is running.
+func (m *Manager) Mode() PolicyMode { return m.cfg.Mode }
+
+// Decisions reports how many decision cycles have run so far.
+func (m *Manager) Decisions() int64 { return m.decisions }
+
+// SLAViolationRate reports the running fraction of decisions whose
+// observed response exceeded the SLA.
+func (m *Manager) SLAViolationRate() float64 { return m.sla.ViolationRate() }
+
+// WorstResponse reports the worst response observed so far.
+func (m *Manager) WorstResponse() time.Duration { return m.sla.Worst() }
+
+// PState reports the fleet-wide DVFS operating point last actuated.
+func (m *Manager) PState() int { return m.curPState }
+
 // Start boots the initial servers and schedules the decision loop.
 func (m *Manager) Start() sim.Cancel {
 	m.fleet.SetTarget(m.cfg.InitialOn)

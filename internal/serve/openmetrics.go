@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics exposition, written by hand: the repo is stdlib-only, so
+// there is no client_golang to lean on. The subset implemented here is
+// the text format v1.0.0 that scrapers actually require — HELP/TYPE
+// (and UNIT where the name carries one) metadata, gauge and counter
+// families, escaped label values, and the mandatory "# EOF" terminator.
+// Lint below is the matching validator; CI pipes a live scrape through
+// it so a regression in the writer fails the build, not the deploy.
+
+// ContentType is the exposition content type for /metrics responses.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// omWriter accumulates one exposition. Families must be written as
+// contiguous blocks (metadata then samples), which matches how
+// writeMetrics drives it.
+type omWriter struct {
+	buf *bytes.Buffer
+}
+
+// family emits the metadata block. typ is "gauge" or "counter"; unit is
+// optional and, per the spec, must be a suffix of the family name.
+func (w *omWriter) family(name, typ, unit, help string) {
+	fmt.Fprintf(w.buf, "# TYPE %s %s\n", name, typ)
+	if unit != "" {
+		fmt.Fprintf(w.buf, "# UNIT %s %s\n", name, unit)
+	}
+	fmt.Fprintf(w.buf, "# HELP %s %s\n", name, escapeHelp(help))
+}
+
+// sample emits one sample line. labels come as k, v pairs; for counter
+// families the caller passes the full sample name (family + "_total").
+func (w *omWriter) sample(name string, value float64, labels ...string) {
+	w.buf.WriteString(name)
+	if len(labels) > 0 {
+		w.buf.WriteByte('{')
+		for i := 0; i < len(labels); i += 2 {
+			if i > 0 {
+				w.buf.WriteByte(',')
+			}
+			w.buf.WriteString(labels[i])
+			w.buf.WriteString(`="`)
+			w.buf.WriteString(escapeLabel(labels[i+1]))
+			w.buf.WriteByte('"')
+		}
+		w.buf.WriteByte('}')
+	}
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(formatValue(value))
+	w.buf.WriteByte('\n')
+}
+
+func (w *omWriter) eof() { w.buf.WriteString("# EOF\n") }
+
+func formatValue(v float64) string {
+	// The spec forbids rendering NaN/Inf by accident; surface them
+	// explicitly (scrapers treat NaN as a staleness marker).
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// writeMetrics renders a snapshot as one OpenMetrics exposition.
+func writeMetrics(buf *bytes.Buffer, snap Snapshot, scrapes uint64) {
+	w := &omWriter{buf: buf}
+
+	w.family("dcsim_sim_time_seconds", "gauge", "seconds", "Virtual simulation clock since start.")
+	w.sample("dcsim_sim_time_seconds", snap.SimTimeSeconds)
+	w.family("dcsim_sim_speedup_ratio", "gauge", "", "Configured virtual-per-wall time ratio.")
+	w.sample("dcsim_sim_speedup_ratio", snap.Speedup)
+	w.family("dcsim_sim_events", "counter", "", "Simulation kernel events processed.")
+	w.sample("dcsim_sim_events_total", float64(snap.EventsProcessed))
+	w.family("dcsim_scrapes", "counter", "", "Scrapes of this endpoint, including this one.")
+	w.sample("dcsim_scrapes_total", float64(scrapes))
+
+	if snap.Mode != "" {
+		w.family("dcsim_policy_mode", "gauge", "", "Active policy composition (1 on the active mode).")
+		w.sample("dcsim_policy_mode", 1, "mode", snap.Mode)
+		w.family("dcsim_decisions", "counter", "", "Manager decision cycles run.")
+		w.sample("dcsim_decisions_total", float64(snap.Decisions))
+		w.family("dcsim_sla_violation_ratio", "gauge", "", "Running fraction of decisions whose response exceeded the SLA.")
+		w.sample("dcsim_sla_violation_ratio", snap.SLAViolationRate)
+		w.family("dcsim_worst_response_seconds", "gauge", "seconds", "Worst response time observed so far.")
+		w.sample("dcsim_worst_response_seconds", snap.WorstResponseSeconds)
+	}
+
+	w.family("dcsim_fleet_size", "gauge", "", "Total servers in the fleet.")
+	w.sample("dcsim_fleet_size", float64(snap.FleetSize))
+	w.family("dcsim_servers_on", "gauge", "", "Servers powered on (booting or active).")
+	w.sample("dcsim_servers_on", float64(snap.OnCount))
+	w.family("dcsim_servers_active", "gauge", "", "Servers active and serving load.")
+	w.sample("dcsim_servers_active", float64(snap.ActiveCount))
+	w.family("dcsim_fleet_pstate", "gauge", "", "Fleet-wide DVFS operating point index.")
+	w.sample("dcsim_fleet_pstate", float64(snap.PState))
+	w.family("dcsim_switches", "counter", "", "Cumulative server power transitions by direction.")
+	w.sample("dcsim_switches_total", float64(snap.SwitchOns), "direction", "on")
+	w.sample("dcsim_switches_total", float64(snap.SwitchOffs), "direction", "off")
+	w.family("dcsim_fleet_power_watts", "gauge", "watts", "Instantaneous IT power draw of the fleet.")
+	w.sample("dcsim_fleet_power_watts", snap.PowerW)
+	w.family("dcsim_fleet_energy_joules", "counter", "joules", "Cumulative fleet energy through the last simulation event.")
+	w.sample("dcsim_fleet_energy_joules_total", snap.EnergyJoules)
+	w.family("dcsim_thermal_trips", "counter", "", "Protective thermal shutdowns.")
+	w.sample("dcsim_thermal_trips_total", float64(snap.Trips))
+	w.family("dcsim_rebase_drift_watts", "gauge", "watts", "Aggregate drift discarded at the last fleet rebase (pre-clamp).")
+	w.sample("dcsim_rebase_drift_watts", snap.RebaseDriftW)
+	w.family("dcsim_rebase_drift_max_watts", "gauge", "watts", "Largest rebase drift observed over the run.")
+	w.sample("dcsim_rebase_drift_max_watts", snap.RebaseDriftMaxW)
+
+	if f := snap.Facility; f != nil {
+		w.family("dcsim_pue_ratio", "gauge", "", "Facility PUE at the configured outside conditions.")
+		w.sample("dcsim_pue_ratio", f.PUE)
+		w.family("dcsim_feed_power_watts", "gauge", "watts", "Utility draw at the facility feed.")
+		w.sample("dcsim_feed_power_watts", f.FeedInputW)
+		w.family("dcsim_distribution_loss_watts", "gauge", "watts", "Total loss through the power distribution tree.")
+		w.sample("dcsim_distribution_loss_watts", f.DistLossW)
+		w.family("dcsim_rack_power_watts", "gauge", "watts", "Instantaneous power draw per rack.")
+		for i := range f.Racks {
+			w.sample("dcsim_rack_power_watts", f.Racks[i].PowerW, "rack", f.Racks[i].Rack)
+		}
+		w.family("dcsim_zone_power_watts", "gauge", "watts", "Instantaneous power draw per cooling zone.")
+		for i := range f.Zones {
+			w.sample("dcsim_zone_power_watts", f.Zones[i].PowerW, "zone", f.Zones[i].Zone)
+		}
+		w.family("dcsim_zone_inlet_celsius", "gauge", "celsius", "Inlet temperature per cooling zone, from the telemetry frame.")
+		for i := range f.Zones {
+			w.sample("dcsim_zone_inlet_celsius", f.Zones[i].InletC, "zone", f.Zones[i].Zone)
+		}
+		w.family("dcsim_frame_age_seconds", "gauge", "seconds", "Virtual age of the telemetry frame row backing zone inlets (-1 before the first round).")
+		age := -1.0
+		if f.FrameAtSeconds >= 0 {
+			age = snap.SimTimeSeconds - f.FrameAtSeconds
+		}
+		w.sample("dcsim_frame_age_seconds", age)
+	}
+
+	w.family("dcsim_carbon_intensity", "gauge", "", "Grid carbon intensity in gCO2e per kWh at the current virtual time.")
+	w.sample("dcsim_carbon_intensity", snap.Carbon.IntensityGPerKWh)
+	w.family("dcsim_carbon_rate", "gauge", "", "Instantaneous emission rate in gCO2e per hour at current draw.")
+	w.sample("dcsim_carbon_rate", snap.Carbon.RateGPerHour)
+	w.family("dcsim_carbon_grams", "counter", "grams", "Cumulative emissions in gCO2e since serving started.")
+	w.sample("dcsim_carbon_grams_total", snap.Carbon.GramsTotal)
+
+	if d := snap.Degrader; d != nil {
+		w.family("dcsim_degrader_ladder_stage", "gauge", "", "Current graceful-degradation ladder stage.")
+		w.sample("dcsim_degrader_ladder_stage", float64(d.LadderStage))
+		w.family("dcsim_degrader_cap_events", "counter", "", "Power-cap engagements.")
+		w.sample("dcsim_degrader_cap_events_total", float64(d.CapEvents))
+		w.family("dcsim_degrader_survival_sheds", "counter", "", "Survival-mode shed actions.")
+		w.sample("dcsim_degrader_survival_sheds_total", float64(d.SurvivalSheds))
+		w.family("dcsim_degrader_shed_servers", "counter", "", "Servers shed by degradation responses.")
+		w.sample("dcsim_degrader_shed_servers_total", float64(d.ShedServers))
+		w.family("dcsim_telemetry_fallbacks", "counter", "", "Telemetry-guard fallbacks to estimated zone maps.")
+		w.sample("dcsim_telemetry_fallbacks_total", float64(d.Fallbacks))
+		w.family("dcsim_telemetry_dark_rounds", "counter", "", "Consecutive telemetry-dark rounds observed.")
+		w.sample("dcsim_telemetry_dark_rounds_total", float64(d.DarkRounds))
+	}
+
+	w.eof()
+}
+
+// Lint validates an exposition against the OpenMetrics text-format rules
+// this package relies on: a single trailing "# EOF", metadata before
+// samples, one contiguous block per family, counter samples suffixed
+// _total with non-negative values, UNIT names carried as family-name
+// suffixes, parseable sample values, and no duplicate (name, labels)
+// series. It is intentionally strict: CI feeds live scrapes through it.
+func Lint(exposition []byte) error {
+	text := string(exposition)
+	if !strings.HasSuffix(text, "# EOF\n") {
+		return fmt.Errorf("openmetrics: exposition must end with %q", "# EOF\n")
+	}
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+
+	type familyMeta struct {
+		typ     string
+		unit    string
+		help    bool
+		samples int
+		closed  bool
+	}
+	families := map[string]*familyMeta{}
+	seen := map[string]bool{} // name{labels} dedup
+	var current string        // family of the open block
+	eofAt := -1
+
+	openFamily := func(name string) *familyMeta {
+		f := families[name]
+		if f == nil {
+			f = &familyMeta{}
+			families[name] = f
+		}
+		return f
+	}
+
+	for i, line := range lines {
+		if eofAt >= 0 {
+			return fmt.Errorf("openmetrics: line %d: content after # EOF", i+1)
+		}
+		if line == "# EOF" {
+			eofAt = i
+			continue
+		}
+		if line == "" {
+			return fmt.Errorf("openmetrics: line %d: empty line", i+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 || parts[0] != "#" {
+				return fmt.Errorf("openmetrics: line %d: malformed comment %q", i+1, line)
+			}
+			kw, name := parts[1], parts[2]
+			f := openFamily(name)
+			if name != current {
+				if f.closed || f.samples > 0 {
+					return fmt.Errorf("openmetrics: line %d: family %s reopened (blocks must be contiguous)", i+1, name)
+				}
+				if cur := families[current]; cur != nil {
+					cur.closed = true
+				}
+				current = name
+			}
+			switch kw {
+			case "TYPE":
+				if f.typ != "" {
+					return fmt.Errorf("openmetrics: line %d: duplicate TYPE for %s", i+1, name)
+				}
+				if f.samples > 0 {
+					return fmt.Errorf("openmetrics: line %d: TYPE after samples for %s", i+1, name)
+				}
+				if len(parts) < 4 {
+					return fmt.Errorf("openmetrics: line %d: TYPE missing value", i+1)
+				}
+				switch parts[3] {
+				case "gauge", "counter", "unknown", "info", "stateset", "summary", "histogram", "gaugehistogram":
+				default:
+					return fmt.Errorf("openmetrics: line %d: unknown type %q", i+1, parts[3])
+				}
+				f.typ = parts[3]
+			case "UNIT":
+				if len(parts) < 4 || parts[3] == "" {
+					return fmt.Errorf("openmetrics: line %d: UNIT missing value", i+1)
+				}
+				if !strings.HasSuffix(name, "_"+parts[3]) {
+					return fmt.Errorf("openmetrics: line %d: unit %q is not a suffix of family %s", i+1, parts[3], name)
+				}
+				f.unit = parts[3]
+			case "HELP":
+				f.help = true
+			default:
+				return fmt.Errorf("openmetrics: line %d: unknown comment keyword %q", i+1, kw)
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value [timestamp]
+		name, rest, err := splitSampleName(line)
+		if err != nil {
+			return fmt.Errorf("openmetrics: line %d: %v", i+1, err)
+		}
+		family := name
+		suffixed := false
+		if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_created") {
+			base := strings.TrimSuffix(strings.TrimSuffix(name, "_total"), "_created")
+			if f, ok := families[base]; ok && f.typ == "counter" {
+				family, suffixed = base, true
+			}
+		}
+		f, ok := families[family]
+		if !ok || f.typ == "" {
+			return fmt.Errorf("openmetrics: line %d: sample %s before its TYPE", i+1, name)
+		}
+		if family != current {
+			return fmt.Errorf("openmetrics: line %d: sample %s outside its family block", i+1, name)
+		}
+		if f.typ == "counter" && !suffixed {
+			return fmt.Errorf("openmetrics: line %d: counter sample %s must end in _total", i+1, name)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("openmetrics: line %d: invalid metric name %q", i+1, name)
+		}
+		labels, valuePart, err := splitLabels(rest)
+		if err != nil {
+			return fmt.Errorf("openmetrics: line %d: %v", i+1, err)
+		}
+		fields := strings.Fields(valuePart)
+		if len(fields) < 1 || len(fields) > 2 {
+			return fmt.Errorf("openmetrics: line %d: want value [timestamp], got %q", i+1, valuePart)
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return fmt.Errorf("openmetrics: line %d: bad value %q: %v", i+1, fields[0], err)
+		}
+		if f.typ == "counter" && (v < 0 || math.IsNaN(v)) {
+			return fmt.Errorf("openmetrics: line %d: counter %s has non-monotone-capable value %v", i+1, name, v)
+		}
+		series := name + "{" + labels + "}"
+		if seen[series] {
+			return fmt.Errorf("openmetrics: line %d: duplicate series %s", i+1, series)
+		}
+		seen[series] = true
+		f.samples++
+	}
+
+	if eofAt != len(lines)-1 {
+		return fmt.Errorf("openmetrics: missing # EOF terminator")
+	}
+	for name, f := range families {
+		if f.samples == 0 {
+			return fmt.Errorf("openmetrics: family %s has metadata but no samples", name)
+		}
+		if !f.help {
+			return fmt.Errorf("openmetrics: family %s missing HELP", name)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitSampleName splits "name{...} v" / "name v" into name and rest.
+func splitSampleName(line string) (name, rest string, err error) {
+	idx := strings.IndexAny(line, "{ ")
+	if idx <= 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	return line[:idx], line[idx:], nil
+}
+
+// splitLabels consumes an optional {k="v",...} block, returning the
+// canonical label text and the remaining value part.
+func splitLabels(rest string) (labels, valuePart string, err error) {
+	if !strings.HasPrefix(rest, "{") {
+		return "", rest, nil
+	}
+	inQuote := false
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip escaped char
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				body := rest[1:i]
+				if err := checkLabelBody(body); err != nil {
+					return "", "", err
+				}
+				return body, rest[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label block %q", rest)
+}
+
+func checkLabelBody(body string) error {
+	if body == "" {
+		return nil
+	}
+	// Split on commas outside quotes.
+	inQuote := false
+	start := 0
+	var pairs []string
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				pairs = append(pairs, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inQuote {
+		return fmt.Errorf("unterminated quote in labels %q", body)
+	}
+	pairs = append(pairs, body[start:])
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		eq := strings.Index(p, "=")
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair %q", p)
+		}
+		k, v := p[:eq], p[eq+1:]
+		if !validMetricName(k) || strings.Contains(k, ":") {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value %q not quoted", v)
+		}
+		if seen[k] {
+			return fmt.Errorf("duplicate label %q", k)
+		}
+		seen[k] = true
+	}
+	return nil
+}

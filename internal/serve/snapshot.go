@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"time"
+)
+
+// Snapshot is one consistent observation of the live simulation,
+// captured under the pacer's read lock. It backs all three serving
+// surfaces: the OpenMetrics exposition, the JSON snapshot API, and the
+// SSE stream — so a scrape, a dashboard poll, and a stream event taken
+// at the same instant agree on every number.
+type Snapshot struct {
+	// Seq increments per published snapshot (SSE event id).
+	Seq uint64 `json:"seq"`
+	// SimTimeSeconds is the virtual clock in seconds since start.
+	SimTimeSeconds float64 `json:"sim_time_seconds"`
+	// Speedup is the configured virtual-per-wall time ratio.
+	Speedup float64 `json:"speedup"`
+	// EventsProcessed counts fired kernel events.
+	EventsProcessed uint64 `json:"events_processed"`
+
+	// Mode is the active policy composition ("" without a manager).
+	Mode string `json:"mode,omitempty"`
+	// PState is the fleet-wide DVFS operating point.
+	PState int `json:"pstate"`
+	// Decisions counts manager decision cycles.
+	Decisions int64 `json:"decisions"`
+	// SLAViolationRate is the running fraction of decisions over SLA.
+	SLAViolationRate float64 `json:"sla_violation_rate"`
+	// WorstResponseSeconds is the worst observed response time.
+	WorstResponseSeconds float64 `json:"worst_response_seconds"`
+
+	// FleetSize, OnCount, ActiveCount describe the server pool.
+	FleetSize   int `json:"fleet_size"`
+	OnCount     int `json:"on_count"`
+	ActiveCount int `json:"active_count"`
+	// SwitchOns / SwitchOffs count cumulative power transitions.
+	SwitchOns  int `json:"switch_ons"`
+	SwitchOffs int `json:"switch_offs"`
+	// PowerW is the instantaneous IT draw; EnergyJoules the cumulative
+	// fleet energy through the last simulation event.
+	PowerW       float64 `json:"power_w"`
+	EnergyJoules float64 `json:"energy_joules"`
+	// Trips counts protective thermal shutdowns.
+	Trips int `json:"trips"`
+	// RebaseDriftW / RebaseDriftMaxW expose the fleet's pre-clamp
+	// aggregate drift (last rebase and lifetime high-water mark).
+	RebaseDriftW    float64 `json:"rebase_drift_w"`
+	RebaseDriftMaxW float64 `json:"rebase_drift_max_w"`
+
+	// Facility adds the power-tree/cooling view when a DataCenter is
+	// attached.
+	Facility *FacilitySnapshot `json:"facility,omitempty"`
+
+	// Carbon is the emissions view.
+	Carbon CarbonSnapshot `json:"carbon"`
+
+	// Degrader reports graceful-degradation state when one is wired.
+	Degrader *DegraderSnapshot `json:"degrader,omitempty"`
+}
+
+// FacilitySnapshot is the facility-level (power tree + cooling) slice of
+// a snapshot.
+type FacilitySnapshot struct {
+	// PUE is facility power over IT power at the configured outside
+	// conditions (0 when it could not be evaluated).
+	PUE float64 `json:"pue"`
+	// FeedInputW is the utility draw at the feed; DistLossW the total
+	// distribution loss through the tree.
+	FeedInputW float64 `json:"feed_input_w"`
+	DistLossW  float64 `json:"dist_loss_w"`
+	// Racks and Zones carry per-group power (and per-zone inlets).
+	Racks []RackSnapshot `json:"racks"`
+	Zones []ZoneSnapshot `json:"zones"`
+	// FrameAtSeconds is the virtual timestamp of the telemetry frame
+	// round the zone inlets were read from (-1 before the first round).
+	FrameAtSeconds float64 `json:"frame_at_seconds"`
+}
+
+// RackSnapshot is one rack's instantaneous draw.
+type RackSnapshot struct {
+	Rack   string  `json:"rack"`
+	PowerW float64 `json:"power_w"`
+}
+
+// ZoneSnapshot is one cooling zone's draw and inlet temperature.
+type ZoneSnapshot struct {
+	Zone   string  `json:"zone"`
+	PowerW float64 `json:"power_w"`
+	InletC float64 `json:"inlet_c"`
+}
+
+// CarbonSnapshot is the emissions slice of a snapshot.
+type CarbonSnapshot struct {
+	// IntensityGPerKWh is the grid intensity at the snapshot instant.
+	IntensityGPerKWh float64 `json:"intensity_g_per_kwh"`
+	// RateGPerHour is the instantaneous emission rate of the fleet.
+	RateGPerHour float64 `json:"rate_g_per_hour"`
+	// GramsTotal is cumulative emissions since serving started.
+	GramsTotal float64 `json:"grams_total"`
+}
+
+// DegraderSnapshot is the graceful-degradation slice of a snapshot.
+type DegraderSnapshot struct {
+	LadderStage   int `json:"ladder_stage"`
+	CapEvents     int `json:"cap_events"`
+	SurvivalSheds int `json:"survival_sheds"`
+	ShedServers   int `json:"shed_servers"`
+	Fallbacks     int `json:"telemetry_fallbacks"`
+	DarkRounds    int `json:"telemetry_dark_rounds"`
+}
+
+// snapshotLocked builds a snapshot; the caller holds s.mu (read or
+// write).
+func (s *Server) snapshotLocked() Snapshot {
+	now := s.src.Engine.Now()
+	fleet := s.src.Fleet
+	driftLast, driftMax := fleet.RebaseDrift()
+	snap := Snapshot{
+		SimTimeSeconds:  now.Seconds(),
+		Speedup:         s.opts.Speedup,
+		EventsProcessed: s.src.Engine.Processed(),
+		FleetSize:       fleet.Size(),
+		OnCount:         fleet.OnCount(),
+		ActiveCount:     fleet.ActiveCount(),
+		PowerW:          fleet.PowerW(),
+		EnergyJoules:    fleet.EnergyJ(),
+		Trips:           fleet.Trips(),
+		RebaseDriftW:    driftLast,
+		RebaseDriftMaxW: driftMax,
+	}
+	snap.SwitchOns, snap.SwitchOffs = fleet.Switches()
+	if m := s.src.Manager; m != nil {
+		snap.Mode = m.Mode().String()
+		snap.PState = m.PState()
+		snap.Decisions = m.Decisions()
+		snap.SLAViolationRate = m.SLAViolationRate()
+		snap.WorstResponseSeconds = m.WorstResponse().Seconds()
+	}
+	if dc := s.src.DC; dc != nil {
+		snap.Facility = s.facilitySnapshotLocked(now)
+	}
+	snap.Carbon = CarbonSnapshot{
+		IntensityGPerKWh: s.opts.Carbon.IntensityAt(now),
+		RateGPerHour:     s.opts.Carbon.RateGPerHour(now, snap.PowerW),
+		GramsTotal:       s.meter.Grams(),
+	}
+	if d := s.src.Degrader; d != nil {
+		snap.Degrader = &DegraderSnapshot{
+			LadderStage:   d.LadderStage(),
+			CapEvents:     d.CapEvents(),
+			SurvivalSheds: d.SurvivalSheds(),
+			ShedServers:   d.ShedServers(),
+			Fallbacks:     d.Telemetry().Fallbacks(),
+			DarkRounds:    d.Telemetry().DarkRounds(),
+		}
+	}
+	return snap
+}
+
+// facilitySnapshotLocked builds the facility slice. Zone inlets come
+// from the open row of the columnar telemetry frame — the same bytes
+// batch-mode analysis reads, one memcpy, no re-aggregation; per-rack and
+// per-zone power are the fleet's O(1) maintained sums.
+func (s *Server) facilitySnapshotLocked(now time.Duration) *FacilitySnapshot {
+	dc := s.src.DC
+	fleet := s.src.Fleet
+	topo := dc.Topology()
+	room := dc.Room()
+
+	fs := &FacilitySnapshot{
+		Racks:          make([]RackSnapshot, len(topo.Racks)),
+		Zones:          make([]ZoneSnapshot, room.Zones()),
+		FrameAtSeconds: -1,
+	}
+	for r := range topo.Racks {
+		fs.Racks[r] = RackSnapshot{Rack: topo.Racks[r].Name(), PowerW: fleet.RackPowerW(r)}
+	}
+	var frameRow []float64
+	if fw := dc.Frames(); fw != nil {
+		buf := s.frameBufs.Get().([]float64)
+		if len(buf) < fw.Width() {
+			buf = make([]float64, fw.Width())
+		}
+		if at, ok := fw.LatestInto(buf); ok {
+			frameRow = buf
+			fs.FrameAtSeconds = at.Seconds()
+		} else {
+			s.frameBufs.Put(buf) //nolint:staticcheck // slice reuse, not pointer identity
+		}
+	}
+	for z := 0; z < room.Zones(); z++ {
+		inlet := room.ZoneInletC(z)
+		if frameRow != nil {
+			inlet = frameRow[dc.ZoneInletColumn(z)]
+		}
+		fs.Zones[z] = ZoneSnapshot{Zone: room.ZoneName(z), PowerW: fleet.ZonePowerW(z), InletC: inlet}
+	}
+	if frameRow != nil {
+		s.frameBufs.Put(frameRow) //nolint:staticcheck
+	}
+	flow := dc.Flow()
+	fs.FeedInputW = flow.InW
+	fs.DistLossW = flow.TotalLoss()
+	if pue, _, err := dc.PUEAt(s.opts.OutsideC, s.opts.OutsideRH); err == nil {
+		fs.PUE = pue
+	}
+	return fs
+}

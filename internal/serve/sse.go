@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// broadcaster fans published snapshots out to SSE subscribers. Each
+// subscriber has a buffered channel; a subscriber that cannot keep up
+// has events dropped rather than stalling the pacer — the event id
+// (snapshot sequence number) makes gaps visible to the client. Events
+// are marshalled once per publish and delivered to every subscriber in
+// publish order.
+type broadcaster struct {
+	mu   sync.Mutex
+	subs map[chan []byte]struct{}
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[chan []byte]struct{})}
+}
+
+func (b *broadcaster) subscribe() chan []byte {
+	ch := make(chan []byte, 16)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch
+}
+
+func (b *broadcaster) unsubscribe(ch chan []byte) {
+	b.mu.Lock()
+	delete(b.subs, ch)
+	b.mu.Unlock()
+}
+
+// publish renders the snapshot as one SSE frame and offers it to every
+// subscriber without blocking.
+func (b *broadcaster) publish(snap Snapshot) {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		// Snapshot is plain data; marshalling cannot fail absent a
+		// programming error. Drop the event rather than kill the pacer.
+		return
+	}
+	var frame bytes.Buffer
+	fmt.Fprintf(&frame, "id: %d\nevent: snapshot\ndata: %s\n\n", snap.Seq, data)
+	payload := frame.Bytes()
+	b.mu.Lock()
+	for ch := range b.subs {
+		select {
+		case ch <- payload:
+		default: // slow subscriber: drop, never block the pacer
+		}
+	}
+	b.mu.Unlock()
+}
+
+// handleStream serves /api/v1/stream: an SSE stream of snapshot events
+// on the configured virtual-time cadence. The first event is the
+// current snapshot so clients render immediately.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	ch := s.sse.subscribe()
+	defer s.sse.unsubscribe(ch)
+
+	snap := s.Snapshot()
+	if data, err := json.Marshal(snap); err == nil {
+		fmt.Fprintf(w, "id: %d\nevent: snapshot\ndata: %s\n\n", snap.Seq, data)
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case frame := <-ch:
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// handleSnapshot serves /api/v1/snapshot as pretty-printed JSON.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleMetrics serves /metrics in the OpenMetrics text format. The
+// snapshot is taken under the read lock; rendering happens outside it
+// into a pooled buffer.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	scrapes := s.scrapes.Add(1)
+	snap := s.Snapshot()
+	buf := s.bufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	writeMetrics(buf, snap, scrapes)
+	w.Header().Set("Content-Type", ContentType)
+	_, _ = w.Write(buf.Bytes())
+	s.bufs.Put(buf)
+}

@@ -116,6 +116,30 @@ func (s *Store) Frames(keys []string) (*FrameWriter, error) {
 // Keys returns the frame's key set in column order.
 func (w *FrameWriter) Keys() []string { return append([]string(nil), w.keys...) }
 
+// Width returns the number of columns (keys) in the frame.
+func (w *FrameWriter) Width() int { return len(w.keys) }
+
+// LatestInto copies the most recent round's values into dst (which must
+// have at least Width elements) and returns the round's timestamp. It
+// reports false if no round has been ingested yet. This is the
+// zero-copy scrape path for live exporters: one memcpy of the open row
+// under the frame's read lock — no bucket materialization, no
+// aggregation, and no contention with the store's shard locks.
+func (w *FrameWriter) LatestInto(dst []float64) (time.Duration, bool) {
+	k := len(w.keys)
+	if len(dst) < k {
+		panic(fmt.Sprintf("telemetry: LatestInto dst of %d for frame width %d", len(dst), k))
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	n := len(w.rawT)
+	if n == 0 {
+		return 0, false
+	}
+	copy(dst, w.rawV[(n-1)*k:n*k])
+	return w.rawT[n-1], true
+}
+
 // Append ingests one round: values[i] is the sample for the i-th frame
 // key, all observed at time t. Rounds must arrive in non-decreasing
 // time order.

@@ -7,6 +7,29 @@
 // same time, raw data out of these bands can be considered as noise and
 // be eliminated" — is implemented here as a streaming multi-resolution
 // aggregation pyramid with raw-band retention.
+//
+// # Concurrency contract
+//
+// A Store is safe for concurrent use: any number of goroutines may mix
+// appends (Store.Append, Appender.Append, FrameWriter.Append, Batch
+// bursts) with reads (Query, Stats, Keys, the derived analyses, and
+// FrameWriter.LatestInto). Internally the store is lock-sharded by key;
+// framed keys are guarded by their FrameWriter's own lock and never
+// touch the shard locks, so scraping a framed key (Query or LatestInto)
+// stays wait-free with respect to BeginBatch bursts, which hold every
+// shard lock for their duration. The frame registry lock is always
+// acquired before any shard lock, and no path holds a shard lock while
+// acquiring another store lock, so the lock order is acyclic.
+//
+// Reads are internally consistent but only per call: a Query observes
+// one atomic state of its series (no torn open-tail buckets), while a
+// sequence of calls (e.g. Stats then Query, or the multi-Query derived
+// analyses) may straddle concurrent appends. Per-key sample ordering
+// remains the appender's obligation: timestamps per key (and per frame)
+// must be non-decreasing regardless of which goroutine delivers them.
+// The one exception to general thread-safety is Batch itself: a Batch
+// value must stay on the goroutine that began it, and End must be
+// called promptly.
 package telemetry
 
 import (
@@ -452,22 +475,28 @@ func (s *Store) Stats() Stats {
 // Query returns the buckets of key overlapping [from, to) at the given
 // resolution. Raw queries synthesize one bucket per sample from the
 // retained raw band.
+//
+// Framed keys are resolved against the frame registry first and answer
+// entirely from their FrameWriter's columns: a scrape of framed
+// telemetry never waits on a shard lock, so it cannot stall behind a
+// BeginBatch ingest burst (which holds every shard lock). Before this
+// ordering, a framed-key query blocked on the — always irrelevant —
+// shard its key hashed to for the whole burst.
 func (s *Store) Query(key string, from, to time.Duration, res Resolution) ([]Bucket, error) {
 	if to < from {
 		return nil, fmt.Errorf("telemetry: inverted range [%v, %v)", from, to)
+	}
+	s.framesMu.RLock()
+	ref, framed := s.frames[key]
+	s.framesMu.RUnlock()
+	if framed {
+		return ref.w.query(ref.col, from, to, res)
 	}
 	sh := s.shardFor(key)
 	sh.mu.RLock()
 	ser, ok := sh.series[key]
 	if !ok {
 		sh.mu.RUnlock()
-		// Not a plain series — a framed key answers from its columns.
-		s.framesMu.RLock()
-		ref, framed := s.frames[key]
-		s.framesMu.RUnlock()
-		if framed {
-			return ref.w.query(ref.col, from, to, res)
-		}
 		return nil, fmt.Errorf("telemetry: unknown key %q", key)
 	}
 	defer sh.mu.RUnlock()
