@@ -81,6 +81,7 @@ type options struct {
 	maxFrac     float64
 	csvPath     string
 	facility    bool
+	users       bool
 	serveMode   bool
 	listen      string
 	speedup     float64
@@ -146,6 +147,7 @@ func run(args []string, stdout io.Writer) error {
 	fs.Float64Var(&o.maxFrac, "max-load", 0.50, "day demand as fraction of fleet capacity")
 	fs.StringVar(&o.csvPath, "csv", "", "write per-decision samples to this CSV file")
 	fs.BoolVar(&o.facility, "facility", false, "embed the fleet in a full facility (power tree + cooling)")
+	fs.BoolVar(&o.users, "users", false, "run request-level admission control and report user outcomes")
 	fs.BoolVar(&o.serveMode, "serve", false, "serve the live simulation over HTTP instead of batch-running")
 	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "listen address for -serve")
 	fs.Float64Var(&o.speedup, "speedup", 60, "virtual seconds per wall second for -serve")
@@ -181,6 +183,28 @@ func run(args []string, stdout io.Writer) error {
 		},
 		InitialOn: o.fleet / 2,
 		Record:    o.csvPath != "",
+	}
+	if o.users {
+		// Front dispatch with request-level admission: the diurnal
+		// demand curve becomes per-class user arrivals (default mix),
+		// and only what admission grants reaches the fleet.
+		adm, err := workload.NewAdmission(workload.DefaultAdmissionConfig())
+		if err != nil {
+			return err
+		}
+		classes := workload.DefaultRequestClasses()
+		mix := workload.DefaultClassMix()
+		mgrCfg.Admission = adm
+		mgrCfg.ClassDemand = func(now time.Duration) [workload.NumClasses]float64 {
+			erl := demand(now) / srvCfg.Capacity
+			var shares, fresh [workload.NumClasses]float64
+			mix.Split(erl, &shares)
+			for c := range fresh {
+				rate := shares[c] / classes[c].ServiceTime.Seconds()
+				fresh[c] = workload.UsersPerTick(rate, mgrCfg.DecisionPeriod)
+			}
+			return fresh
+		}
 	}
 
 	var dc *core.DataCenter
@@ -230,6 +254,15 @@ func run(args []string, stdout io.Writer) error {
 	if dc != nil && pueN > 0 {
 		fmt.Fprintf(stdout, "mean PUE:         %.2f\n", pueSum/float64(pueN))
 		fmt.Fprintf(stdout, "thermal trips:    %d\n", dc.Trips())
+	}
+	if u := res.Users; u != nil {
+		fmt.Fprintf(stdout, "users offered:    %.0f\n", u.Offered)
+		fmt.Fprintf(stdout, "users admitted:   %.0f (%.0f degraded)\n", u.Admitted, u.Degraded)
+		fmt.Fprintf(stdout, "users rejected:   %.0f (+%.0f deferred)\n", u.Rejected, u.DeferredBacklog)
+		for c := 0; c < workload.NumClasses; c++ {
+			fmt.Fprintf(stdout, "SLO misses %-12s %.2f%% of active ticks\n",
+				workload.Class(c).String()+":", u.SLOMissRate[c]*100)
+		}
 	}
 
 	if o.csvPath != "" {

@@ -43,6 +43,18 @@ func TestRunWithCSV(t *testing.T) {
 	}
 }
 
+func TestRunUsers(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "coordinated", "-fleet", "8", "-days", "1", "-users"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"users offered:", "users admitted:", "users rejected:", "SLO misses interactive:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunFacility(t *testing.T) {
 	if err := run([]string{"-mode", "coordinated", "-fleet", "10", "-days", "1", "-facility"}, io.Discard); err != nil {
 		t.Fatal(err)

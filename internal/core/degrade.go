@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // DegraderConfig shapes the MRM layer's graceful-degradation responses
@@ -104,6 +105,12 @@ type Degrader struct {
 	slowest   int // DVFS index with the lowest frequency
 	fastest   int // DVFS index with the highest frequency
 
+	// admission, when linked, mirrors the degradation state onto the
+	// request-level shed ladder so infrastructure trouble is expressed
+	// in users (degraded classes, rejections), not only in watts.
+	admission *workload.Admission
+	survival  bool
+
 	capEvents     int
 	survivalSheds int
 	dvfsDowns     int
@@ -148,6 +155,39 @@ func NewDegrader(e *sim.Engine, dc *DataCenter, cfg DegraderConfig) (*Degrader, 
 // Telemetry exposes the last-good telemetry guard for controllers that
 // consume zone maps.
 func (d *Degrader) Telemetry() *TelemetryGuard { return d.guard }
+
+// SetAdmission links the request-level admission controller: from now
+// on every degradation action also moves the user-facing shed ladder
+// (admit → degrade class → reject). Pass nil to unlink.
+func (d *Degrader) SetAdmission(a *workload.Admission) {
+	d.admission = a
+	d.syncAdmission()
+}
+
+// AdmissionShedLevel reports the user-facing shed level the degradation
+// state maps to, whether or not a controller is linked.
+func (d *Degrader) AdmissionShedLevel() int {
+	level := d.ladder
+	if d.capsOn && level < 1 {
+		// Emergency caps throttle capacity: degrade best-effort traffic
+		// rather than letting the fair share sag for everyone.
+		level = 1
+	}
+	if d.survival && level < workload.MaxShedLevel {
+		// Survival mode keeps only the critical interactive slice.
+		level = workload.MaxShedLevel
+	}
+	return level
+}
+
+// syncAdmission pushes the current degradation state onto the linked
+// admission controller.
+func (d *Degrader) syncAdmission() {
+	if d.admission == nil {
+		return
+	}
+	d.admission.SetShedLevel(d.AdmissionShedLevel())
+}
 
 // LadderStage reports the current thermal-shedding stage (0 = none,
 // 1 = DVFS-down, 2 = consolidated, 3 = zone shed).
@@ -199,8 +239,12 @@ func (d *Degrader) OnNotice(e *sim.Engine, n fault.Notice) {
 				d.shedServers += dropped
 			}
 			d.survivalSheds++
+			d.survival = true
+		} else {
+			d.survival = false
 		}
 	}
+	d.syncAdmission()
 }
 
 // engageCaps derates every rack cap and starts enforcing.
@@ -263,6 +307,7 @@ func (d *Degrader) tick(now time.Duration) {
 			_ = d.dc.Fleet().SetPStateAll(now, d.fastest)
 		}
 	}
+	d.syncAdmission()
 }
 
 // escalate applies one ladder stage: DVFS-down, consolidate, then power

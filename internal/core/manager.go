@@ -74,6 +74,15 @@ type ManagerConfig struct {
 	InitialOn int
 	// Record enables per-decision sampling for plots.
 	Record bool
+	// Admission, when set, runs batched request-level admission control
+	// ahead of dispatch: each tick the fresh per-class arrivals from
+	// ClassDemand are admitted against the active capacity, and only the
+	// admitted load (in capacity units) reaches the fleet. Requires
+	// ClassDemand; the aggregate demand function may then be nil.
+	Admission *workload.Admission
+	// ClassDemand reports the fresh per-class user arrivals of the tick
+	// ending at now. Required with Admission, ignored without.
+	ClassDemand func(now time.Duration) [workload.NumClasses]float64
 }
 
 // Validate checks the configuration.
@@ -111,6 +120,9 @@ func (c ManagerConfig) Validate() error {
 	if c.InitialOn < 0 || c.InitialOn > c.FleetSize {
 		return fmt.Errorf("core: initial on %d out of [0,%d]", c.InitialOn, c.FleetSize)
 	}
+	if (c.Admission == nil) != (c.ClassDemand == nil) {
+		return fmt.Errorf("core: admission controller and class demand must be set together")
+	}
 	return nil
 }
 
@@ -142,6 +154,23 @@ type RunResult struct {
 	DroppedFraction float64
 	// Samples holds per-decision detail when recording was enabled.
 	Samples []Sample
+	// Users summarizes request-level outcomes when the run had an
+	// admission controller (nil otherwise). A pointer keeps it out of
+	// the reflection-flattened metric set of fluid-only experiments.
+	Users *UserOutcomes
+}
+
+// UserOutcomes is the user-visible side of a managed run: what happened
+// to the people behind the load curve while the power side actuated.
+type UserOutcomes struct {
+	// Offered is cumulative fresh user arrivals; Admitted, Rejected,
+	// and the closing DeferredBacklog partition it.
+	Offered, Admitted, Rejected, DeferredBacklog float64
+	// Degraded counts admitted users served below full quality.
+	Degraded float64
+	// SLOMissRate is, per class, the fraction of its active ticks whose
+	// Erlang-C expected wait exceeded the class SLO.
+	SLOMissRate [workload.NumClasses]float64
 }
 
 // Manager is the closed-loop macro-resource manager over one fleet.
@@ -167,6 +196,7 @@ type Manager struct {
 	samples      []Sample
 	lastResp     time.Duration
 	curPState    int
+	lastOut      workload.TickOutcome
 }
 
 // NewManager builds the manager and its fleet on the engine.
@@ -185,7 +215,7 @@ func NewManagerForFleet(e *sim.Engine, cfg ManagerConfig, fleet *Fleet, demand D
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if demand == nil {
+	if demand == nil && cfg.Admission == nil {
 		return nil, fmt.Errorf("core: nil demand function")
 	}
 	if fleet == nil || fleet.Size() != cfg.FleetSize {
@@ -215,11 +245,25 @@ func NewManagerForFleet(e *sim.Engine, cfg ManagerConfig, fleet *Fleet, demand D
 		m.lookahead = int(math.Ceil(float64(cfg.ServerConfig.BootDelay)/float64(cfg.DecisionPeriod))) + 1
 	}
 	m.lastResp = cfg.Queue.ServiceTime
+	if cfg.Admission != nil {
+		// The invariant checker picks the controller up through its
+		// Checkable interface: user conservation is scanned with the
+		// physical laws.
+		e.Register(cfg.Admission)
+	}
 	return m, nil
 }
 
 // Fleet exposes the managed fleet.
 func (m *Manager) Fleet() *Fleet { return m.fleet }
+
+// Admission exposes the request-level admission controller (nil when
+// the run is fluid-only).
+func (m *Manager) Admission() *workload.Admission { return m.cfg.Admission }
+
+// LastOutcome reports the most recent admission tick (zero value before
+// the first tick or without admission control).
+func (m *Manager) LastOutcome() workload.TickOutcome { return m.lastOut }
 
 // Mode reports the policy composition the manager is running.
 func (m *Manager) Mode() PolicyMode { return m.cfg.Mode }
@@ -245,7 +289,21 @@ func (m *Manager) Start() sim.Cancel {
 
 // tick runs one observe→decide→actuate cycle.
 func (m *Manager) tick(now time.Duration) {
-	offered := m.demand(now)
+	var offered float64
+	// planDemand is what capacity planning sees. With admission control
+	// it is the pre-admission demand — the controller must plan for the
+	// users it had to turn away, or the fleet never grows out of a
+	// rejection regime. Without admission it equals offered.
+	planDemand := -1.0
+	if adm := m.cfg.Admission; adm != nil {
+		classes := m.cfg.ClassDemand(now)
+		out := adm.Tick(m.cfg.DecisionPeriod, &classes, float64(m.fleet.ActiveCount()))
+		m.lastOut = out
+		offered = out.AdmittedErl * m.cfg.ServerConfig.Capacity
+		planDemand = out.DemandErl * m.cfg.ServerConfig.Capacity
+	} else {
+		offered = m.demand(now)
+	}
 	if offered < 0 {
 		offered = 0
 	}
@@ -281,8 +339,12 @@ func (m *Manager) tick(now time.Duration) {
 	case ModeCoordinated:
 		// Decide on the worse of current and boot-delay-ahead demand so
 		// rising edges find capacity already booted.
-		m.demandFc.Observe(offered)
-		planFor := math.Max(offered, m.demandFc.Forecast(m.lookahead))
+		obs := offered
+		if planDemand >= 0 {
+			obs = planDemand
+		}
+		m.demandFc.Observe(obs)
+		planFor := math.Max(obs, m.demandFc.Forecast(m.lookahead))
 		dec := m.joint.Decide(planFor)
 		m.fleet.SetTarget(dec.Servers)
 		m.setPState(now, dec.PState)
@@ -344,6 +406,19 @@ func (m *Manager) Result(now time.Duration) RunResult {
 	}
 	if m.offeredTotal > 0 {
 		res.DroppedFraction = m.droppedTotal / m.offeredTotal
+	}
+	if adm := m.cfg.Admission; adm != nil {
+		u := &UserOutcomes{
+			Offered:         adm.OfferedUsers(),
+			Admitted:        adm.AdmittedUsers(),
+			Rejected:        adm.RejectedUsers(),
+			DeferredBacklog: adm.DeferredBacklog(),
+			Degraded:        adm.DegradedUsers(),
+		}
+		for c := 0; c < workload.NumClasses; c++ {
+			u.SLOMissRate[c] = adm.SLOMissRate(workload.Class(c))
+		}
+		res.Users = u
 	}
 	return res
 }

@@ -139,6 +139,11 @@ func registry() map[string]Runner {
 		"fault-outage": RunFaultOutage,
 		"fault-crac":   RunFaultCRAC,
 		"fault-sensor": RunFaultSensor,
+		// Request-level family: batched admission control measured by
+		// user-visible outcomes (rejections, degradation, SLO misses).
+		"users-surge": RunUsersSurge,
+		"users-flash": RunUsersFlash,
+		"users-qmin":  RunUsersQmin,
 	}
 }
 

@@ -30,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fault-crac", "fault-outage", "fault-sensor", "fig1",
 		"fig2", "fig3", "fig4", "geo", "hetero", "idle60", "interfere", "oversub",
 		"parking", "pathology", "pue2", "sensornet", "telemetry", "tier2",
-		"tiers",
+		"tiers", "users-flash", "users-qmin", "users-surge",
 	}
 	got := IDs()
 	if len(got) != len(want) {

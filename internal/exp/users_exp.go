@@ -1,0 +1,374 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/onoff"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The request-level family puts users, not watts, on the y-axis: the
+// same elastic machinery the fluid experiments exercise, but measured by
+// what the customer sees — admissions, rejections, degraded service, and
+// SLO misses per class — as the paper's §3 framing of elasticity as a
+// user-visible property demands.
+
+// classMixShares adapts the default class mix to the trace splitter.
+func classMixShares() []float64 {
+	mix := workload.DefaultClassMix()
+	return mix[:]
+}
+
+// ---------------------------------------------------------------------------
+// users-surge — user outcomes through an Animoto surge under power budgets
+// ---------------------------------------------------------------------------
+
+// UsersSurgeRow is one power budget's outcome through the surge.
+type UsersSurgeRow struct {
+	FleetCap      int
+	EnergyKWh     float64
+	MeanActive    float64
+	OfferedUsers  float64
+	AdmittedUsers float64
+	RejectedUsers float64
+	DegradedUsers float64
+	RejectedFrac  float64
+	FinalQ        float64
+	SLOMiss       [workload.NumClasses]float64
+}
+
+// UsersSurgeResult sweeps the fleet power budget through the surge.
+type UsersSurgeResult struct {
+	PeakDemandErl float64
+	Rows          []UsersSurgeRow
+}
+
+// ID implements Result.
+func (UsersSurgeResult) ID() string { return "users-surge" }
+
+// Report implements Result.
+func (r UsersSurgeResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("users-surge", "user outcomes through an Animoto-style surge under power budgets"))
+	fmt.Fprintf(&b, "peak demand %.0f server-equivalents; budgets are fleet-size caps\n", r.PeakDemandErl)
+	b.WriteString("budget  energy_kWh  mean_on   offered_u   rejected   rej_frac  degraded    Q_end  slo_miss(i/b/g)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d  %10.1f  %7.1f  %10.0f  %9.0f  %8.4f  %8.0f  %7.3f  %.3f/%.3f/%.3f\n",
+			row.FleetCap, row.EnergyKWh, row.MeanActive, row.OfferedUsers,
+			row.RejectedUsers, row.RejectedFrac, row.DegradedUsers, row.FinalQ,
+			row.SLOMiss[workload.ClassInteractive], row.SLOMiss[workload.ClassBatch],
+			row.SLOMiss[workload.ClassBackground])
+	}
+	b.WriteString("shape check: shrinking the budget trades energy for rejections and degradation\n")
+	return b.String()
+}
+
+// RunUsersSurge drives a scaled-down Animoto surge through the
+// coordinated manager with batched admission control in front of
+// dispatch, at three fleet power budgets (full, 75 %, 50 %). The demand
+// trace is generated once and split per class; every budget sees the
+// identical user stream.
+func RunUsersSurge(env *Env) (Result, error) {
+	seed := env.Seed
+	const fullFleet = 64
+	surgeCfg := trace.SurgeConfig{
+		Duration:     4 * 24 * time.Hour,
+		Step:         10 * time.Minute,
+		Baseline:     4,
+		Peak:         48,
+		SurgeStart:   12 * time.Hour,
+		RampDuration: 24 * time.Hour,
+		HoldDuration: 6 * time.Hour,
+		DecayTime:    12 * time.Hour,
+		Settle:       10,
+		NoiseSD:      0.03,
+	}
+	classes, err := trace.GenerateSurgeClasses(surgeCfg, classMixShares(), sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	var peak float64
+	for _, s := range classes {
+		peak += s.Max()
+	}
+
+	srv := server.DefaultConfig()
+	reqClasses := workload.DefaultRequestClasses()
+	horizon := surgeCfg.Duration
+	res := UsersSurgeResult{PeakDemandErl: peak}
+	for _, budget := range []int{fullFleet, fullFleet * 3 / 4, fullFleet / 2} {
+		adm, err := workload.NewAdmission(workload.DefaultAdmissionConfig())
+		if err != nil {
+			return nil, err
+		}
+		e := env.NewEngine(seed)
+		const decision = time.Minute
+		m, err := core.NewManager(e, core.ManagerConfig{
+			ServerConfig:   srv,
+			FleetSize:      budget,
+			Queue:          workload.DefaultQueueModel(),
+			SLA:            100 * time.Millisecond,
+			DecisionPeriod: decision,
+			Mode:           core.ModeCoordinated,
+			Trigger: onoff.DelayTrigger{
+				High: 60 * time.Millisecond, Low: 25 * time.Millisecond,
+				StepUp: 1, StepDown: 1, Min: 1, Max: budget,
+			},
+			InitialOn: 8,
+			Admission: adm,
+			ClassDemand: func(now time.Duration) [workload.NumClasses]float64 {
+				var fresh [workload.NumClasses]float64
+				for c := 0; c < workload.NumClasses; c++ {
+					// Class demand arrives in server-equivalents; one
+					// user holds a server-equivalent for its service
+					// time, so erlangs/ServiceTime is the arrival rate.
+					rate := classes[c].At(now) / reqClasses[c].ServiceTime.Seconds()
+					fresh[c] = workload.UsersPerTick(rate, decision)
+				}
+				return fresh
+			},
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		m.Start()
+		if err := e.Run(horizon); err != nil {
+			return nil, err
+		}
+		rr := m.Result(horizon)
+		row := UsersSurgeRow{
+			FleetCap:      budget,
+			EnergyKWh:     rr.EnergyKWh,
+			MeanActive:    rr.MeanActive,
+			OfferedUsers:  adm.OfferedUsers(),
+			AdmittedUsers: adm.AdmittedUsers(),
+			RejectedUsers: adm.RejectedUsers(),
+			DegradedUsers: adm.DegradedUsers(),
+			FinalQ:        adm.Q(),
+		}
+		if row.OfferedUsers > 0 {
+			row.RejectedFrac = row.RejectedUsers / row.OfferedUsers
+		}
+		for c := 0; c < workload.NumClasses; c++ {
+			row.SLOMiss[c] = adm.SLOMissRate(workload.Class(c))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// users-flash — flash crowds against a fixed fleet, per-class outcomes
+// ---------------------------------------------------------------------------
+
+// UsersFlashResult summarizes a Messenger week of request-level admission
+// against a statically-sized fleet.
+type UsersFlashResult struct {
+	CapacityErl    float64
+	FlashCrowds    int
+	OfferedUsers   float64
+	AdmittedUsers  float64
+	RejectedUsers  float64
+	DegradedUsers  float64
+	DeferredEnd    float64
+	PeakBacklog    float64
+	MinQ           float64
+	RejectTickFrac float64
+	SLOMiss        [workload.NumClasses]float64
+}
+
+// ID implements Result.
+func (UsersFlashResult) ID() string { return "users-flash" }
+
+// Report implements Result.
+func (r UsersFlashResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("users-flash", "login flash crowds against a fixed fleet (§3, Figure 3 workload)"))
+	fmt.Fprintf(&b, "capacity %.0f server-equivalents; %d flash crowds in the week\n",
+		r.CapacityErl, r.FlashCrowds)
+	fmt.Fprintf(&b, "users offered %.0f: admitted %.0f (%.0f degraded), rejected %.0f, deferred backlog %.0f at end\n",
+		r.OfferedUsers, r.AdmittedUsers, r.DegradedUsers, r.RejectedUsers, r.DeferredEnd)
+	fmt.Fprintf(&b, "worst fair share Q %.3f; peak deferred backlog %.0f users; %.2f%% of ticks rejected someone\n",
+		r.MinQ, r.PeakBacklog, r.RejectTickFrac*100)
+	fmt.Fprintf(&b, "SLO misses: interactive %.1f%%, batch %.1f%%, background %.1f%% of active ticks\n",
+		r.SLOMiss[workload.ClassInteractive]*100, r.SLOMiss[workload.ClassBatch]*100,
+		r.SLOMiss[workload.ClassBackground]*100)
+	return b.String()
+}
+
+// RunUsersFlash replays the Figure-3 Messenger week — diurnal swing plus
+// login flash crowds — through the admission controller in front of a
+// fixed fleet sized below the peak, so flash crowds force the fair-share
+// floor to bite. The loop is analytic (no engine); the controller's own
+// conservation invariant is asserted every tick.
+func RunUsersFlash(env *Env) (Result, error) {
+	seed := env.Seed
+	mcfg := trace.DefaultMessengerConfig()
+	m, classes, err := trace.GenerateMessengerClasses(mcfg, classMixShares(), sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	adm, err := workload.NewAdmission(workload.DefaultAdmissionConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	// Peak offered load is ~121 server-equivalents (1400 logins/s split
+	// 60/25/15 across the class service times, with batch's 250 ms jobs
+	// dominating). 50 keeps quiet hours comfortable but drives the peak
+	// below the Qmin floor, so crunches shed background users outright
+	// and push batch work into the deferred backlog.
+	const capacityErl = 50.0
+	step := mcfg.Step
+	steps := int(mcfg.Duration / step)
+
+	res := UsersFlashResult{
+		CapacityErl: capacityErl,
+		FlashCrowds: len(m.FlashTimes),
+		MinQ:        1,
+	}
+	rejectTicks := 0
+	for i := 0; i < steps; i++ {
+		t := time.Duration(i) * step
+		var fresh [workload.NumClasses]float64
+		for c := 0; c < workload.NumClasses; c++ {
+			fresh[c] = workload.UsersPerTick(classes[c].At(t), step)
+		}
+		out := adm.Tick(step, &fresh, capacityErl)
+		if err := adm.CheckInvariants(t); err != nil {
+			return nil, fmt.Errorf("users-flash: tick %d: %w", i, err)
+		}
+		if out.Q < res.MinQ {
+			res.MinQ = out.Q
+		}
+		var rej, backlog float64
+		for c := 0; c < workload.NumClasses; c++ {
+			rej += out.Rejected[c]
+			backlog += adm.Backlog(workload.Class(c))
+		}
+		if rej > 0 {
+			rejectTicks++
+		}
+		if backlog > res.PeakBacklog {
+			res.PeakBacklog = backlog
+		}
+	}
+
+	res.OfferedUsers = adm.OfferedUsers()
+	res.AdmittedUsers = adm.AdmittedUsers()
+	res.RejectedUsers = adm.RejectedUsers()
+	res.DegradedUsers = adm.DegradedUsers()
+	res.DeferredEnd = adm.DeferredBacklog()
+	res.RejectTickFrac = float64(rejectTicks) / float64(steps)
+	for c := 0; c < workload.NumClasses; c++ {
+		res.SLOMiss[c] = adm.SLOMissRate(workload.Class(c))
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// users-qmin — the Qmin knob: rejection versus degradation under crunch
+// ---------------------------------------------------------------------------
+
+// UsersQminRow is one Qmin setting's steady-state outcome.
+type UsersQminRow struct {
+	Qmin          float64
+	MeanQ         float64
+	AdmittedFrac  float64
+	RejectedFrac  float64
+	DegradedFrac  float64 // of admitted users
+	EndBacklog    float64
+	InteractiveOK float64 // interactive admitted / interactive offered
+}
+
+// UsersQminResult sweeps the fair-share floor under a fixed 1.5× crunch.
+type UsersQminResult struct {
+	DemandErl   float64
+	CapacityErl float64
+	Rows        []UsersQminRow
+}
+
+// ID implements Result.
+func (UsersQminResult) ID() string { return "users-qmin" }
+
+// Report implements Result.
+func (r UsersQminResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("users-qmin", "fair-share floor Qmin: reject users or degrade everyone (Snippets 1-2 rule)"))
+	fmt.Fprintf(&b, "steady crunch: %.0f erlangs offered against %.0f erlangs of capacity\n",
+		r.DemandErl, r.CapacityErl)
+	b.WriteString("qmin   mean_Q  admitted  rejected  degraded/adm  interactive_ok  end_backlog\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%4.2f  %7.3f  %8.3f  %8.3f  %12.3f  %14.3f  %11.0f\n",
+			row.Qmin, row.MeanQ, row.AdmittedFrac, row.RejectedFrac,
+			row.DegradedFrac, row.InteractiveOK, row.EndBacklog)
+	}
+	b.WriteString("shape check: raising Qmin converts degradation into rejection, shedding low classes first\n")
+	return b.String()
+}
+
+// RunUsersQmin holds offered load at 1.5× capacity and sweeps the
+// fair-share floor. Low Qmin admits everyone at a thin share (all
+// degraded, none rejected); high Qmin protects the survivors' experience
+// by shedding background and batch users. The loop is deterministic —
+// the tradeoff curve is a property of the admission rule, not the noise.
+func RunUsersQmin(env *Env) (Result, error) {
+	const (
+		capacityErl = 40.0
+		demandErl   = 60.0
+		dt          = time.Minute
+		steps       = 6 * 60 // six hours reaches backlog steady state
+	)
+	mix := workload.DefaultClassMix()
+	var erl [workload.NumClasses]float64
+	mix.Split(demandErl, &erl)
+
+	res := UsersQminResult{DemandErl: demandErl, CapacityErl: capacityErl}
+	for _, qmin := range []float64{0.25, 0.5, 0.75, 0.95} {
+		cfg := workload.DefaultAdmissionConfig()
+		cfg.Qmin = qmin
+		adm, err := workload.NewAdmission(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var fresh [workload.NumClasses]float64
+		for c := 0; c < workload.NumClasses; c++ {
+			rate := erl[c] / cfg.Classes[c].ServiceTime.Seconds()
+			fresh[c] = workload.UsersPerTick(rate, dt)
+		}
+		var qSum float64
+		for i := 0; i < steps; i++ {
+			arrivals := fresh // Tick mutates nothing, but keep per-call copy explicit
+			out := adm.Tick(dt, &arrivals, capacityErl)
+			qSum += out.Q
+			if err := adm.CheckInvariants(time.Duration(i) * dt); err != nil {
+				return nil, fmt.Errorf("users-qmin: qmin %.2f tick %d: %w", qmin, i, err)
+			}
+		}
+		offered := adm.OfferedUsers()
+		row := UsersQminRow{
+			Qmin:       qmin,
+			MeanQ:      qSum / steps,
+			EndBacklog: adm.DeferredBacklog(),
+		}
+		if offered > 0 {
+			row.AdmittedFrac = adm.AdmittedUsers() / offered
+			row.RejectedFrac = adm.RejectedUsers() / offered
+		}
+		if adm.AdmittedUsers() > 0 {
+			row.DegradedFrac = adm.DegradedUsers() / adm.AdmittedUsers()
+		}
+		offInt := adm.ClassAdmitted(workload.ClassInteractive) + adm.ClassRejected(workload.ClassInteractive)
+		if offInt > 0 {
+			row.InteractiveOK = adm.ClassAdmitted(workload.ClassInteractive) / offInt
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestUsersSurgeExp(t *testing.T) {
+	res := run(t, "users-surge").(UsersSurgeResult)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 budgets", len(res.Rows))
+	}
+	if res.PeakDemandErl < 40 || res.PeakDemandErl > 60 {
+		t.Errorf("peak demand = %v server-equivalents, want ~48", res.PeakDemandErl)
+	}
+	for i, row := range res.Rows {
+		if row.OfferedUsers <= 0 {
+			t.Fatalf("budget %d saw no users", row.FleetCap)
+		}
+		// Every budget sees the identical user stream.
+		if d := math.Abs(row.OfferedUsers - res.Rows[0].OfferedUsers); d > 1e-6*res.Rows[0].OfferedUsers {
+			t.Errorf("budget %d offered %v users, budget %d offered %v — streams differ",
+				row.FleetCap, row.OfferedUsers, res.Rows[0].FleetCap, res.Rows[0].OfferedUsers)
+		}
+		if row.AdmittedUsers > row.OfferedUsers {
+			t.Errorf("budget %d admitted more than offered: %+v", row.FleetCap, row)
+		}
+		if i > 0 {
+			prev := res.Rows[i-1]
+			if row.FleetCap >= prev.FleetCap {
+				t.Fatalf("budgets not descending: %d then %d", prev.FleetCap, row.FleetCap)
+			}
+			if row.EnergyKWh > prev.EnergyKWh+1e-9 {
+				t.Errorf("smaller budget %d used more energy (%.1f) than %d (%.1f)",
+					row.FleetCap, row.EnergyKWh, prev.FleetCap, prev.EnergyKWh)
+			}
+			if row.RejectedFrac < prev.RejectedFrac-1e-9 {
+				t.Errorf("smaller budget %d rejected less (%.4f) than %d (%.4f)",
+					row.FleetCap, row.RejectedFrac, prev.FleetCap, prev.RejectedFrac)
+			}
+		}
+	}
+	// The halved budget cannot carry the surge peak: users must be turned
+	// away, which is the user-visible cost the experiment exists to show.
+	if tight := res.Rows[len(res.Rows)-1]; tight.RejectedUsers <= 0 {
+		t.Errorf("50%% budget rejected nobody through the surge: %+v", tight)
+	}
+}
+
+func TestUsersFlashExp(t *testing.T) {
+	res := run(t, "users-flash").(UsersFlashResult)
+	if res.FlashCrowds <= 0 {
+		t.Error("no flash crowds drawn in the week")
+	}
+	if res.OfferedUsers <= 0 {
+		t.Fatal("no users offered")
+	}
+	got := res.AdmittedUsers + res.RejectedUsers + res.DeferredEnd
+	if math.Abs(got-res.OfferedUsers) > 1e-6*res.OfferedUsers {
+		t.Errorf("user conservation broken: admitted %v + rejected %v + deferred %v != offered %v",
+			res.AdmittedUsers, res.RejectedUsers, res.DeferredEnd, res.OfferedUsers)
+	}
+	qmin := workload.DefaultAdmissionConfig().Qmin
+	if res.MinQ < qmin-1e-9 || res.MinQ > 1 {
+		t.Errorf("worst Q = %v outside [Qmin=%v, 1]", res.MinQ, qmin)
+	}
+	if res.MinQ >= 1 {
+		t.Error("fair share never dropped below 1 — capacity crunch not reproduced")
+	}
+	if res.PeakBacklog <= 0 {
+		t.Error("deferrable batch work never backed up")
+	}
+}
+
+func TestUsersQminExp(t *testing.T) {
+	res := run(t, "users-qmin").(UsersQminResult)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 Qmin settings", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row.MeanQ < row.Qmin-1e-9 || row.MeanQ > 1+1e-9 {
+			t.Errorf("qmin %.2f: mean Q %v outside [Qmin, 1]", row.Qmin, row.MeanQ)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := res.Rows[i-1]
+		if row.Qmin <= prev.Qmin {
+			t.Fatalf("Qmin sweep not increasing")
+		}
+		// The knob's tradeoff: a higher floor rejects more users to keep
+		// the survivors' share up.
+		if row.RejectedFrac < prev.RejectedFrac-1e-9 {
+			t.Errorf("qmin %.2f rejected less (%.3f) than qmin %.2f (%.3f)",
+				row.Qmin, row.RejectedFrac, prev.Qmin, prev.RejectedFrac)
+		}
+		if row.MeanQ < prev.MeanQ-1e-9 {
+			t.Errorf("qmin %.2f mean Q %.3f below qmin %.2f's %.3f",
+				row.Qmin, row.MeanQ, prev.Qmin, prev.MeanQ)
+		}
+	}
+	// Under permanent 1.5x overload the lowest floor admits nearly
+	// everyone degraded; interactive users outlive the shed classes.
+	loose := res.Rows[0]
+	if loose.RejectedFrac > 0.2 {
+		t.Errorf("qmin %.2f rejected %.3f of users; a loose floor should mostly degrade instead",
+			loose.Qmin, loose.RejectedFrac)
+	}
+	for _, row := range res.Rows {
+		if row.InteractiveOK < row.AdmittedFrac-1e-9 {
+			t.Errorf("qmin %.2f: interactive admitted %.3f below overall %.3f — shed order broken",
+				row.Qmin, row.InteractiveOK, row.AdmittedFrac)
+		}
+	}
+}
+
+func TestUsersDeterminism(t *testing.T) {
+	for _, id := range []string{"users-surge", "users-flash", "users-qmin"} {
+		a, err := Run(id, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Report() != b.Report() {
+			t.Errorf("%s: same seed produced different reports", id)
+		}
+	}
+}

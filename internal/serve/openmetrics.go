@@ -164,6 +164,35 @@ func writeMetrics(buf *bytes.Buffer, snap Snapshot, scrapes uint64) {
 	w.family("dcsim_carbon_grams", "counter", "grams", "Cumulative emissions in gCO2e since serving started.")
 	w.sample("dcsim_carbon_grams_total", snap.Carbon.GramsTotal)
 
+	if u := snap.Users; u != nil {
+		w.family("dcsim_offered_users", "counter", "", "Cumulative fresh user arrivals offered to admission control.")
+		w.sample("dcsim_offered_users_total", u.OfferedTotal)
+		w.family("dcsim_admitted_users", "counter", "", "Cumulative users admitted to service.")
+		w.sample("dcsim_admitted_users_total", u.AdmittedTotal)
+		w.family("dcsim_rejected_users", "counter", "", "Cumulative users rejected by admission control.")
+		w.sample("dcsim_rejected_users_total", u.RejectedTotal)
+		w.family("dcsim_degraded_users", "counter", "", "Cumulative admitted users served below full quality.")
+		w.sample("dcsim_degraded_users_total", u.DegradedTotal)
+		w.family("dcsim_deferred_users", "gauge", "", "Users currently parked in the deferral backlog.")
+		w.sample("dcsim_deferred_users", u.DeferredBacklog)
+		w.family("dcsim_fair_share_q", "gauge", "", "Fair share Q = min(1, m/k) granted on the latest admission tick.")
+		w.sample("dcsim_fair_share_q", u.FairShareQ)
+		w.family("dcsim_user_shed_level", "gauge", "", "User-facing shedding ladder level (0 = normal fair share).")
+		w.sample("dcsim_user_shed_level", float64(u.ShedLevel))
+		w.family("dcsim_class_admitted_users", "counter", "", "Cumulative admitted users per service class.")
+		for i := range u.Classes {
+			w.sample("dcsim_class_admitted_users_total", u.Classes[i].AdmittedTotal, "class", u.Classes[i].Class)
+		}
+		w.family("dcsim_class_rejected_users", "counter", "", "Cumulative rejected users per service class.")
+		for i := range u.Classes {
+			w.sample("dcsim_class_rejected_users_total", u.Classes[i].RejectedTotal, "class", u.Classes[i].Class)
+		}
+		w.family("dcsim_slo_miss_ratio", "gauge", "", "Fraction of active ticks whose Erlang-C wait exceeded the class SLO.")
+		for i := range u.Classes {
+			w.sample("dcsim_slo_miss_ratio", u.Classes[i].SLOMissRate, "class", u.Classes[i].Class)
+		}
+	}
+
 	if d := snap.Degrader; d != nil {
 		w.family("dcsim_degrader_ladder_stage", "gauge", "", "Current graceful-degradation ladder stage.")
 		w.sample("dcsim_degrader_ladder_stage", float64(d.LadderStage))

@@ -46,6 +46,7 @@ import (
 	"repro/internal/carbon"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Source bundles the live simulation objects a Server exposes. Engine
@@ -64,6 +65,10 @@ type Source struct {
 	DC *core.DataCenter
 	// Degrader, when set, adds graceful-degradation state.
 	Degrader *core.Degrader
+	// Admission, when set, adds request-level user outcomes (admission,
+	// rejection, degradation, per-class SLO misses). When nil, the
+	// Manager's admission controller (if any) is used.
+	Admission *workload.Admission
 }
 
 // Options tunes the pacer and the exposition.

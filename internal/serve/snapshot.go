@@ -2,6 +2,8 @@ package serve
 
 import (
 	"time"
+
+	"repro/internal/workload"
 )
 
 // Snapshot is one consistent observation of the live simulation,
@@ -57,6 +59,37 @@ type Snapshot struct {
 
 	// Degrader reports graceful-degradation state when one is wired.
 	Degrader *DegraderSnapshot `json:"degrader,omitempty"`
+
+	// Users reports request-level user outcomes when an admission
+	// controller is wired.
+	Users *UsersSnapshot `json:"users,omitempty"`
+}
+
+// UsersSnapshot is the request-level (user outcome) slice of a
+// snapshot: what happened to the people behind the load curve.
+type UsersSnapshot struct {
+	// OfferedTotal is cumulative fresh user arrivals; AdmittedTotal,
+	// RejectedTotal, and DeferredBacklog partition it.
+	OfferedTotal    float64 `json:"offered_total"`
+	AdmittedTotal   float64 `json:"admitted_total"`
+	RejectedTotal   float64 `json:"rejected_total"`
+	DegradedTotal   float64 `json:"degraded_total"`
+	DeferredBacklog float64 `json:"deferred_backlog"`
+	// FairShareQ is the share granted on the latest admission tick;
+	// ShedLevel the current user-facing shedding ladder level.
+	FairShareQ float64 `json:"fair_share_q"`
+	ShedLevel  int     `json:"shed_level"`
+	// Classes carries per-class accounting and SLO-miss rates.
+	Classes []UserClassSnapshot `json:"classes"`
+}
+
+// UserClassSnapshot is one service class's user accounting.
+type UserClassSnapshot struct {
+	Class         string  `json:"class"`
+	AdmittedTotal float64 `json:"admitted_total"`
+	RejectedTotal float64 `json:"rejected_total"`
+	DegradedTotal float64 `json:"degraded_total"`
+	SLOMissRate   float64 `json:"slo_miss_rate"`
 }
 
 // FacilitySnapshot is the facility-level (power tree + cooling) slice of
@@ -154,6 +187,33 @@ func (s *Server) snapshotLocked() Snapshot {
 			Fallbacks:     d.Telemetry().Fallbacks(),
 			DarkRounds:    d.Telemetry().DarkRounds(),
 		}
+	}
+	adm := s.src.Admission
+	if adm == nil && s.src.Manager != nil {
+		adm = s.src.Manager.Admission()
+	}
+	if adm != nil {
+		u := &UsersSnapshot{
+			OfferedTotal:    adm.OfferedUsers(),
+			AdmittedTotal:   adm.AdmittedUsers(),
+			RejectedTotal:   adm.RejectedUsers(),
+			DegradedTotal:   adm.DegradedUsers(),
+			DeferredBacklog: adm.DeferredBacklog(),
+			FairShareQ:      adm.Q(),
+			ShedLevel:       adm.ShedLevel(),
+			Classes:         make([]UserClassSnapshot, workload.NumClasses),
+		}
+		for c := 0; c < workload.NumClasses; c++ {
+			cl := workload.Class(c)
+			u.Classes[c] = UserClassSnapshot{
+				Class:         cl.String(),
+				AdmittedTotal: adm.ClassAdmitted(cl),
+				RejectedTotal: adm.ClassRejected(cl),
+				DegradedTotal: adm.ClassDegraded(cl),
+				SLOMissRate:   adm.SLOMissRate(cl),
+			}
+		}
+		snap.Users = u
 	}
 	return snap
 }

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMMcWaitMatchesMM1ClosedForm pins the Erlang-C machinery against
+// the closed-form M/M/1 solution when c = 1: the queueing probability
+// is exactly ρ and the mean wait (excluding service) is ρ/(μ−λ).
+// Randomized over utilizations to cover the stable region densely.
+func TestMMcWaitMatchesMM1ClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		mu := 0.1 + rng.Float64()*100
+		rho := rng.Float64()*0.98 + 0.01 // stable: ρ in (0.01, 0.99)
+		lambda := rho * mu
+
+		pq, err := ErlangC(1, lambda/mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pq-rho) > 1e-12*math.Max(1, rho) {
+			t.Fatalf("ErlangC(1, %v) = %v, want ρ = %v", lambda/mu, pq, rho)
+		}
+
+		wait, err := MMcWait(1, lambda, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rho / (mu - lambda)
+		if math.Abs(wait-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("MMcWait(1, λ=%v, μ=%v) = %v, want M/M/1 Wq = %v", lambda, mu, wait, want)
+		}
+	}
+	// Boundary: the unstable M/M/1 waits forever.
+	wait, err := MMcWait(1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(wait, 1) {
+		t.Errorf("unstable M/M/1 wait = %v, want +Inf", wait)
+	}
+}
+
+// TestMMcWaitDecreasesWithServers checks the multi-server sanity
+// property the admission controller relies on: at fixed offered load,
+// adding servers never increases the expected wait.
+func TestMMcWaitDecreasesWithServers(t *testing.T) {
+	const lambda, mu = 90.0, 10.0 // a = 9 Erlangs
+	prev := math.Inf(1)
+	for c := 9; c <= 40; c++ {
+		wait, err := MMcWait(c, lambda, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wait > prev+1e-12 {
+			t.Fatalf("wait rose from %v to %v at c=%d", prev, wait, c)
+		}
+		prev = wait
+	}
+	if prev <= 0 || prev > 1e-3 {
+		t.Errorf("wait at c=40 = %v, want small positive", prev)
+	}
+}

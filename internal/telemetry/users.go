@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Canonical key names for user-outcome series. The request-level
+// experiments and the live server record under these so dashboards and
+// queries can rely on stable names; per-class SLO-miss series append a
+// class label: "users.slo_miss.<class>".
+const (
+	KeyOfferedUsers  = "users.offered"
+	KeyAdmittedUsers = "users.admitted"
+	KeyRejectedUsers = "users.rejected"
+	KeyDegradedUsers = "users.degraded"
+	KeyDeferredUsers = "users.deferred"
+	KeyFairShareQ    = "users.fair_share_q"
+)
+
+// UserOutcome is one admission tick's user-visible accounting, ready
+// for the pyramid. The package stays generic: class semantics live in
+// internal/workload; here classes are just labelled series.
+type UserOutcome struct {
+	// Offered, Admitted, Rejected, Degraded, Deferred are user counts
+	// for the tick.
+	Offered, Admitted, Rejected, Degraded, Deferred float64
+	// Q is the fair share granted this tick.
+	Q float64
+	// SLOMiss holds one 0/1 flag per class, in the recorder's class
+	// order. Length must match the recorder's classes.
+	SLOMiss []float64
+}
+
+// OutcomeRecorder appends user-outcome samples under the canonical
+// keys through pre-resolved handles, so a per-tick record costs no key
+// hashing or map lookups beyond the shard locks.
+type OutcomeRecorder struct {
+	offered, admitted, rejected *Appender
+	degraded, deferred, q       *Appender
+	slo                         []*Appender
+	classes                     []string
+}
+
+// NewOutcomeRecorder resolves the canonical series on the store plus
+// one SLO-miss series per class name (e.g. "interactive").
+func NewOutcomeRecorder(s *Store, classes []string) (*OutcomeRecorder, error) {
+	if s == nil {
+		return nil, fmt.Errorf("telemetry: nil store")
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("telemetry: outcome recorder needs at least one class")
+	}
+	r := &OutcomeRecorder{
+		offered:  s.Appender(KeyOfferedUsers),
+		admitted: s.Appender(KeyAdmittedUsers),
+		rejected: s.Appender(KeyRejectedUsers),
+		degraded: s.Appender(KeyDegradedUsers),
+		deferred: s.Appender(KeyDeferredUsers),
+		q:        s.Appender(KeyFairShareQ),
+		classes:  append([]string(nil), classes...),
+	}
+	for _, c := range classes {
+		if c == "" {
+			return nil, fmt.Errorf("telemetry: empty class name")
+		}
+		r.slo = append(r.slo, s.Appender("users.slo_miss."+c))
+	}
+	return r, nil
+}
+
+// Classes reports the class order SLOMiss samples must arrive in.
+func (r *OutcomeRecorder) Classes() []string { return r.classes }
+
+// Record appends one tick's outcome at time t.
+func (r *OutcomeRecorder) Record(t time.Duration, o UserOutcome) error {
+	if len(o.SLOMiss) != len(r.slo) {
+		return fmt.Errorf("telemetry: outcome has %d SLO flags, recorder tracks %d classes",
+			len(o.SLOMiss), len(r.slo))
+	}
+	for _, step := range [...]struct {
+		app *Appender
+		v   float64
+	}{
+		{r.offered, o.Offered},
+		{r.admitted, o.Admitted},
+		{r.rejected, o.Rejected},
+		{r.degraded, o.Degraded},
+		{r.deferred, o.Deferred},
+		{r.q, o.Q},
+	} {
+		if err := step.app.Append(t, step.v); err != nil {
+			return err
+		}
+	}
+	for i, app := range r.slo {
+		if err := app.Append(t, o.SLOMiss[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOutcomeRecorder(t *testing.T) {
+	s, err := NewStore(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []string{"interactive", "batch", "background"}
+	r, err := NewOutcomeRecorder(s, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Classes(); len(got) != 3 || got[0] != "interactive" {
+		t.Fatalf("Classes() = %v", got)
+	}
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * time.Minute
+		err := r.Record(at, UserOutcome{
+			Offered: 1000, Admitted: 900, Rejected: 80, Degraded: 200, Deferred: 20,
+			Q:       0.9,
+			SLOMiss: []float64{0, 1, 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs, err := s.Query(KeyRejectedUsers, 0, 1<<62, ResRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, b := range bs {
+		total += b.Sum
+	}
+	if total != 800 {
+		t.Errorf("rejected sum = %v, want 800", total)
+	}
+	bs, err = s.Query("users.slo_miss.batch", 0, 1<<62, ResRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, b := range bs {
+		total += b.Sum
+	}
+	if total != 10 {
+		t.Errorf("batch SLO-miss sum = %v, want 10 (missed every tick)", total)
+	}
+}
+
+func TestOutcomeRecorderValidation(t *testing.T) {
+	s, err := NewStore(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOutcomeRecorder(nil, []string{"a"}); err == nil {
+		t.Error("nil store should error")
+	}
+	if _, err := NewOutcomeRecorder(s, nil); err == nil {
+		t.Error("no classes should error")
+	}
+	if _, err := NewOutcomeRecorder(s, []string{""}); err == nil {
+		t.Error("empty class name should error")
+	}
+	r, err := NewOutcomeRecorder(s, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(0, UserOutcome{SLOMiss: []float64{1}}); err == nil {
+		t.Error("SLO flag count mismatch should error")
+	}
+}

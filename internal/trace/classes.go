@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// SplitShares partitions the series into one sub-series per share,
+// scaling every sample by share[i]/sum(shares). The split is applied
+// after generation, so splitting never changes how much randomness a
+// generator consumes: the sum of the returned series reproduces the
+// original series exactly (up to float rounding), and a zero share
+// yields an all-zero series of the same shape — a legal "class with no
+// population".
+func (s *Series) SplitShares(shares []float64) ([]*Series, error) {
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("trace: split needs at least one share")
+	}
+	var sum float64
+	for i, sh := range shares {
+		if math.IsNaN(sh) || math.IsInf(sh, 0) || sh < 0 {
+			return nil, fmt.Errorf("trace: share[%d] = %v must be finite and non-negative", i, sh)
+		}
+		sum += sh
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("trace: shares must sum to a positive value")
+	}
+	out := make([]*Series, len(shares))
+	for i, sh := range shares {
+		frac := sh / sum
+		vals := make([]float64, len(s.Values))
+		if frac != 0 {
+			for j, v := range s.Values {
+				vals[j] = v * frac
+			}
+		}
+		out[i] = &Series{Step: s.Step, Values: vals}
+	}
+	return out, nil
+}
+
+// GenerateSurgeClasses synthesizes an Animoto-style surge and splits the
+// demand across request classes by the given shares. The underlying
+// generator consumes the RNG exactly as GenerateSurge does, so a split
+// run and an unsplit run from the same seed describe the same event.
+func GenerateSurgeClasses(cfg SurgeConfig, shares []float64, rng *sim.RNG) ([]*Series, error) {
+	s, err := GenerateSurge(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return s.SplitShares(shares)
+}
+
+// GenerateMessengerClasses synthesizes a Messenger workload and splits
+// its login-rate series across request classes by the given shares. The
+// Messenger (with its aggregate Logins/Connections series and flash
+// instants) is returned alongside the per-class login rates.
+func GenerateMessengerClasses(cfg MessengerConfig, shares []float64, rng *sim.RNG) (*Messenger, []*Series, error) {
+	m, err := GenerateMessenger(cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	classes, err := m.Logins.SplitShares(shares)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, classes, nil
+}

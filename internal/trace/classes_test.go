@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSplitSharesConserves(t *testing.T) {
+	s := &Series{Step: time.Minute, Values: []float64{10, 0, 3.5, 100, 42}}
+	parts, err := s.SplitShares([]float64{3, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	for i, p := range parts {
+		if p.Step != s.Step {
+			t.Errorf("part %d step = %v", i, p.Step)
+		}
+		if p.Len() != s.Len() {
+			t.Errorf("part %d len = %d, want %d", i, p.Len(), s.Len())
+		}
+	}
+	for j := range s.Values {
+		var sum float64
+		for _, p := range parts {
+			sum += p.Values[j]
+		}
+		if math.Abs(sum-s.Values[j]) > 1e-12*math.Max(1, s.Values[j]) {
+			t.Errorf("sample %d: class sum %v != original %v", j, sum, s.Values[j])
+		}
+	}
+	// 3:1:1 shares → 60/20/20 percent.
+	if got := parts[0].Values[3]; math.Abs(got-60) > 1e-9 {
+		t.Errorf("dominant class sample = %v, want 60", got)
+	}
+}
+
+func TestSplitSharesZeroPopulationClass(t *testing.T) {
+	s := &Series{Step: time.Minute, Values: []float64{5, 7, 9}}
+	parts, err := s.SplitShares([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range parts[1].Values {
+		if v != 0 {
+			t.Errorf("zero-share class sample %d = %v, want 0", j, v)
+		}
+	}
+	for j := range s.Values {
+		if got, want := parts[0].Values[j]+parts[2].Values[j], s.Values[j]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("sample %d not conserved across live classes: %v vs %v", j, got, want)
+		}
+	}
+}
+
+func TestSplitSharesRejectsBadInput(t *testing.T) {
+	s := &Series{Step: time.Minute, Values: []float64{1}}
+	for _, shares := range [][]float64{
+		nil,
+		{},
+		{-1, 2},
+		{math.NaN(), 1},
+		{math.Inf(1)},
+		{0, 0, 0},
+	} {
+		if _, err := s.SplitShares(shares); err == nil {
+			t.Errorf("SplitShares(%v) should error", shares)
+		}
+	}
+}
+
+func TestGenerateSurgeClassesMatchesUnsplit(t *testing.T) {
+	cfg := DefaultSurgeConfig()
+	base, err := GenerateSurge(cfg, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := GenerateSurgeClasses(cfg, []float64{0.6, 0.25, 0.15}, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range base.Values {
+		var sum float64
+		for _, p := range parts {
+			sum += p.Values[j]
+		}
+		if math.Abs(sum-base.Values[j]) > 1e-9*math.Max(1, base.Values[j]) {
+			t.Fatalf("sample %d: split sum %v != unsplit %v — splitting changed RNG consumption",
+				j, sum, base.Values[j])
+		}
+	}
+}
+
+func TestGenerateMessengerClassesMatchesUnsplit(t *testing.T) {
+	cfg := DefaultMessengerConfig()
+	cfg.Duration = 24 * time.Hour
+	base, err := GenerateMessenger(cfg, sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, parts, err := GenerateMessengerClasses(cfg, []float64{2, 1, 0}, sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.FlashTimes) != len(base.FlashTimes) {
+		t.Fatalf("flash crowds differ: %d vs %d", len(m.FlashTimes), len(base.FlashTimes))
+	}
+	for j := range base.Logins.Values {
+		var sum float64
+		for _, p := range parts {
+			sum += p.Values[j]
+		}
+		if math.Abs(sum-base.Logins.Values[j]) > 1e-9*math.Max(1, base.Logins.Values[j]) {
+			t.Fatalf("sample %d: split logins %v != unsplit %v", j, sum, base.Logins.Values[j])
+		}
+		if parts[2].Values[j] != 0 {
+			t.Fatalf("zero-share class has logins at sample %d", j)
+		}
+	}
+}
+
+func TestGenerateClassesPropagateErrors(t *testing.T) {
+	if _, err := GenerateSurgeClasses(SurgeConfig{}, []float64{1}, sim.NewRNG(1)); err == nil {
+		t.Error("invalid surge config should error")
+	}
+	if _, err := GenerateSurgeClasses(DefaultSurgeConfig(), []float64{-1}, sim.NewRNG(1)); err == nil {
+		t.Error("negative share should error")
+	}
+	if _, _, err := GenerateMessengerClasses(MessengerConfig{}, []float64{1}, sim.NewRNG(1)); err == nil {
+		t.Error("invalid messenger config should error")
+	}
+	if _, _, err := GenerateMessengerClasses(DefaultMessengerConfig(), nil, sim.NewRNG(1)); err == nil {
+		t.Error("empty shares should error")
+	}
+}

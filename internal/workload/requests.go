@@ -1,0 +1,177 @@
+// Request-level workload model: batched M/M/n-style arrivals aggregated
+// per tick, so millions of users cost O(ticks) instead of O(requests).
+//
+// The fluid layer in this package answers "how much load"; this layer
+// answers "how many users, of which kind, got what". Arrivals are carried
+// as per-class user counts per decision tick (rate × dt), never as
+// per-request events — the batching trick that keeps the paper's
+// "millions of users" operating point cheap. Per-class latency is
+// recovered analytically with the Erlang-C formula (internal/stats)
+// instead of simulating queues, which is exact for the M/M/n steady
+// state the batch represents.
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Class is a request service class. The three classes form the shedding
+// ladder's priority order: Interactive is protected longest, Background
+// is shed first.
+type Class int
+
+// The service classes, highest priority first.
+const (
+	// ClassInteractive is user-facing request/response traffic with a
+	// tight latency SLO; it is never deferred.
+	ClassInteractive Class = iota
+	// ClassBatch is throughput-oriented work (index builds, encoding
+	// jobs) that tolerates deferral to a backlog.
+	ClassBatch
+	// ClassBackground is best-effort work (crawlers, maintenance) that
+	// is degraded and shed before anything else.
+	ClassBackground
+	// NumClasses is the number of service classes.
+	NumClasses = 3
+)
+
+// String renders the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassInteractive:
+		return "interactive"
+	case ClassBatch:
+		return "batch"
+	case ClassBackground:
+		return "background"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// shedOrder walks classes lowest priority first — the order the
+// admission ladder sheds them under pressure.
+var shedOrder = [NumClasses]Class{ClassBackground, ClassBatch, ClassInteractive}
+
+// ClassConfig describes one service class's queueing behaviour and SLO.
+type ClassConfig struct {
+	// ServiceTime is the mean per-request service time S (1/μ). It
+	// converts admitted user counts into offered load in
+	// server-equivalents (Erlangs): λ·S.
+	ServiceTime time.Duration
+	// SLOWait is the Erlang-C mean-queueing-delay target; a tick whose
+	// expected wait exceeds it is an SLO miss for the class.
+	SLOWait time.Duration
+	// Deferrable marks work that defers to a backlog instead of being
+	// rejected when it cannot be admitted.
+	Deferrable bool
+	// DegradeCost is the fraction of the nominal per-request capacity a
+	// degraded request consumes, in (0,1]. Degrading a class trades
+	// service quality for admission headroom.
+	DegradeCost float64
+}
+
+// Validate checks one class configuration.
+func (c ClassConfig) Validate() error {
+	if c.ServiceTime <= 0 {
+		return fmt.Errorf("workload: class service time %v must be positive", c.ServiceTime)
+	}
+	if c.SLOWait < 0 {
+		return fmt.Errorf("workload: class SLO wait %v must be non-negative", c.SLOWait)
+	}
+	if c.DegradeCost <= 0 || c.DegradeCost > 1 {
+		return fmt.Errorf("workload: degrade cost %v out of (0,1]", c.DegradeCost)
+	}
+	return nil
+}
+
+// RequestClasses is the per-class configuration table.
+type RequestClasses [NumClasses]ClassConfig
+
+// DefaultRequestClasses is a typical interactive/batch/background split:
+// short interactive requests with a tight wait SLO, heavier batch work
+// that defers, and cheap best-effort background traffic.
+func DefaultRequestClasses() RequestClasses {
+	return RequestClasses{
+		ClassInteractive: {
+			ServiceTime: 20 * time.Millisecond,
+			SLOWait:     40 * time.Millisecond,
+			DegradeCost: 0.6,
+		},
+		ClassBatch: {
+			ServiceTime: 250 * time.Millisecond,
+			SLOWait:     2 * time.Second,
+			Deferrable:  true,
+			DegradeCost: 0.5,
+		},
+		ClassBackground: {
+			ServiceTime: 80 * time.Millisecond,
+			SLOWait:     time.Second,
+			DegradeCost: 0.4,
+		},
+	}
+}
+
+// Validate checks every class.
+func (r RequestClasses) Validate() error {
+	for c := 0; c < NumClasses; c++ {
+		if err := r[c].Validate(); err != nil {
+			return fmt.Errorf("%s: %w", Class(c), err)
+		}
+	}
+	return nil
+}
+
+// ClassMix splits an aggregate arrival series into per-class shares. The
+// shares need not sum to one; Split normalizes. A zero share is a valid
+// empty class (the generator simply routes no users there).
+type ClassMix [NumClasses]float64
+
+// DefaultClassMix is the share split used by the request-level
+// experiments: mostly interactive traffic, a quarter batch, the rest
+// background.
+func DefaultClassMix() ClassMix {
+	return ClassMix{ClassInteractive: 0.6, ClassBatch: 0.25, ClassBackground: 0.15}
+}
+
+// Validate checks the mix: non-negative shares with a positive sum.
+func (m ClassMix) Validate() error {
+	var sum float64
+	for c, s := range m {
+		if s < 0 {
+			return fmt.Errorf("workload: class %s share %v must be non-negative", Class(c), s)
+		}
+		sum += s
+	}
+	if sum <= 0 {
+		return fmt.Errorf("workload: class mix shares sum to %v, need > 0", sum)
+	}
+	return nil
+}
+
+// Split divides an aggregate user count over the classes proportionally
+// to the shares, writing into dst. Allocation-free.
+func (m ClassMix) Split(total float64, dst *[NumClasses]float64) {
+	var sum float64
+	for _, s := range m {
+		sum += s
+	}
+	if sum <= 0 || total <= 0 {
+		*dst = [NumClasses]float64{}
+		return
+	}
+	for c := range dst {
+		dst[c] = total * m[c] / sum
+	}
+}
+
+// UsersPerTick batches an arrival rate (users/second) into the user
+// count of one tick of length dt — the aggregation that replaces
+// per-request events.
+func UsersPerTick(rate float64, dt time.Duration) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	return rate * dt.Seconds()
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassInteractive: "interactive",
+		ClassBatch:       "batch",
+		ClassBackground:  "background",
+		Class(7):         "class(7)",
+	}
+	for c, s := range want {
+		if got := c.String(); got != s {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), got, s)
+		}
+	}
+}
+
+func TestDefaultRequestClassesValid(t *testing.T) {
+	if err := DefaultRequestClasses().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassConfigValidate(t *testing.T) {
+	base := DefaultRequestClasses()[ClassInteractive]
+	cases := []struct {
+		name   string
+		mutate func(*ClassConfig)
+	}{
+		{"zero service time", func(c *ClassConfig) { c.ServiceTime = 0 }},
+		{"negative SLO", func(c *ClassConfig) { c.SLOWait = -time.Second }},
+		{"zero degrade cost", func(c *ClassConfig) { c.DegradeCost = 0 }},
+		{"degrade cost above one", func(c *ClassConfig) { c.DegradeCost = 1.5 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("default class invalid: %v", err)
+	}
+}
+
+func TestClassMixValidate(t *testing.T) {
+	if err := DefaultClassMix().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (ClassMix{-0.1, 0.5, 0.6}).Validate(); err == nil {
+		t.Error("negative share should error")
+	}
+	if err := (ClassMix{}).Validate(); err == nil {
+		t.Error("all-zero mix should error")
+	}
+}
+
+func TestClassMixSplit(t *testing.T) {
+	var dst [NumClasses]float64
+	mix := ClassMix{2, 1, 1} // unnormalized on purpose
+	mix.Split(100, &dst)
+	want := [NumClasses]float64{50, 25, 25}
+	for c := range dst {
+		if math.Abs(dst[c]-want[c]) > 1e-9 {
+			t.Errorf("split[%d] = %v, want %v", c, dst[c], want[c])
+		}
+	}
+	// Conservation of the split.
+	var sum float64
+	for _, v := range dst {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("split sum = %v, want 100", sum)
+	}
+}
+
+func TestClassMixSplitZeroShareClass(t *testing.T) {
+	// A zero-population class is valid: it simply receives no users.
+	var dst [NumClasses]float64
+	mix := ClassMix{1, 0, 1}
+	mix.Split(80, &dst)
+	if dst[ClassBatch] != 0 {
+		t.Errorf("zero-share class got %v users", dst[ClassBatch])
+	}
+	if dst[ClassInteractive] != 40 || dst[ClassBackground] != 40 {
+		t.Errorf("split = %v, want 40/0/40", dst)
+	}
+}
+
+func TestClassMixSplitDegenerate(t *testing.T) {
+	dst := [NumClasses]float64{1, 2, 3}
+	(ClassMix{}).Split(100, &dst)
+	if dst != ([NumClasses]float64{}) {
+		t.Errorf("zero-sum mix split = %v, want zeros", dst)
+	}
+	dst = [NumClasses]float64{1, 2, 3}
+	DefaultClassMix().Split(0, &dst)
+	if dst != ([NumClasses]float64{}) {
+		t.Errorf("zero-total split = %v, want zeros", dst)
+	}
+	dst = [NumClasses]float64{1, 2, 3}
+	DefaultClassMix().Split(-5, &dst)
+	if dst != ([NumClasses]float64{}) {
+		t.Errorf("negative-total split = %v, want zeros", dst)
+	}
+}
+
+func TestUsersPerTick(t *testing.T) {
+	if got := UsersPerTick(1000, time.Minute); got != 60000 {
+		t.Errorf("UsersPerTick(1000, 1m) = %v, want 60000", got)
+	}
+	if got := UsersPerTick(-3, time.Minute); got != 0 {
+		t.Errorf("negative rate gave %v users", got)
+	}
+	if got := UsersPerTick(0, time.Minute); got != 0 {
+		t.Errorf("zero rate gave %v users", got)
+	}
+}
