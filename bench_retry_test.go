@@ -1,0 +1,90 @@
+// Retry-path micro benchmarks: one closed-loop client tick at fleet
+// scale, and a full breaker trip/probe/recover cycle. Like the admission
+// tick, the retry tick runs inside the manager's event handler every
+// decision period, so the benchdiff gate watches allocs/op (must stay 0:
+// the delay ring and per-class ledgers are preallocated) alongside
+// users/sec throughput.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchRetryLoop builds a budget-policy loop with the breaker armed —
+// the full production stack — fed by a deterministic RNG.
+func benchRetryLoop(b *testing.B) *workload.RetryLoop {
+	b.Helper()
+	adm, err := workload.NewAdmission(workload.DefaultAdmissionConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.DefaultRetryConfig(workload.RetryBudget)
+	cfg.Breaker = workload.DefaultBreakerConfig()
+	rl, err := workload.NewRetryLoop(cfg, adm, sim.NewRNG(1).Fork("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rl
+}
+
+// benchRetryTick drives the closed loop at ~1.2x the capacity of an
+// nServers fleet, so rejections flow into the delay ring and replay —
+// the whole feedback path, not just the admit-all fast path.
+func benchRetryTick(b *testing.B, nServers int) {
+	b.Helper()
+	rl := benchRetryLoop(b)
+	const dt = time.Minute
+	mix := workload.DefaultClassMix()
+	classes := rl.Admission().Config().Classes
+	var erl, fresh [workload.NumClasses]float64
+	mix.Split(float64(nServers)*1.2, &erl)
+	for c := 0; c < workload.NumClasses; c++ {
+		rate := erl[c] / classes[c].ServiceTime.Seconds()
+		fresh[c] = workload.UsersPerTick(rate, dt)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var users float64
+	for i := 0; i < b.N; i++ {
+		out := rl.Tick(dt, &fresh, float64(nServers))
+		users += out.GoodputUsers
+	}
+	b.ReportMetric(users/b.Elapsed().Seconds(), "users/sec")
+}
+
+// BenchmarkRetryTick1k is the CI-sized tier.
+func BenchmarkRetryTick1k(b *testing.B) { benchRetryTick(b, 1_000) }
+
+// BenchmarkRetryTick10k is the headline tier: the closed loop carrying
+// tens of millions of users per tick, allocation-free.
+func BenchmarkRetryTick10k(b *testing.B) { benchRetryTick(b, 10_000) }
+
+// BenchmarkBreakerCycle measures a complete breaker excursion: a forced
+// trip, the open ticks fast-failing traffic, half-open probing, and the
+// recovery run back to closed. This is the state machine the degrader
+// exercises on every fault notice, so it must also be allocation-free.
+func BenchmarkBreakerCycle(b *testing.B) {
+	rl := benchRetryLoop(b)
+	const dt = time.Minute
+	var fresh [workload.NumClasses]float64
+	fresh[workload.ClassInteractive] = workload.UsersPerTick(100/0.02, dt)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rl.Trip()
+		// Plenty of capacity, so probes succeed and the breaker walks
+		// open -> half-open -> closed in the minimum tick count.
+		for rl.State() != workload.BreakerClosed {
+			rl.Tick(dt, &fresh, 1_000)
+		}
+	}
+	if rl.Trips() < int64(b.N) {
+		b.Fatalf("trips = %d, want >= %d", rl.Trips(), b.N)
+	}
+}

@@ -70,6 +70,23 @@ func parseMode(s string) (core.PolicyMode, error) {
 	}
 }
 
+// parseRetry maps the -retry flag to a client retry policy; "none"
+// disables the closed loop.
+func parseRetry(s string) (workload.RetryPolicy, bool, error) {
+	switch s {
+	case "", "none":
+		return 0, false, nil
+	case "naive":
+		return workload.RetryNaive, true, nil
+	case "backoff":
+		return workload.RetryBackoff, true, nil
+	case "budget":
+		return workload.RetryBudget, true, nil
+	default:
+		return 0, false, fmt.Errorf("unknown retry policy %q (none|naive|backoff|budget)", s)
+	}
+}
+
 // options carries the parsed command line.
 type options struct {
 	modeStr     string
@@ -82,6 +99,7 @@ type options struct {
 	csvPath     string
 	facility    bool
 	users       bool
+	retryStr    string
 	serveMode   bool
 	listen      string
 	speedup     float64
@@ -122,6 +140,11 @@ func (o options) validate() error {
 	if o.speedup <= 0 {
 		bad("-speedup %v must be positive", o.speedup)
 	}
+	if _, enabled, err := parseRetry(o.retryStr); err != nil {
+		bad("-retry: %v", err)
+	} else if enabled && !o.users {
+		bad("-retry %q needs -users (retries close the loop around admission control)", o.retryStr)
+	}
 	if err := o.carbonModel().Validate(); err != nil {
 		bad("-carbon/-carbon-swing: %v", err)
 	}
@@ -148,6 +171,7 @@ func run(args []string, stdout io.Writer) error {
 	fs.StringVar(&o.csvPath, "csv", "", "write per-decision samples to this CSV file")
 	fs.BoolVar(&o.facility, "facility", false, "embed the fleet in a full facility (power tree + cooling)")
 	fs.BoolVar(&o.users, "users", false, "run request-level admission control and report user outcomes")
+	fs.StringVar(&o.retryStr, "retry", "none", "client retry policy around admission control (none|naive|backoff|budget); needs -users")
 	fs.BoolVar(&o.serveMode, "serve", false, "serve the live simulation over HTTP instead of batch-running")
 	fs.StringVar(&o.listen, "listen", "127.0.0.1:0", "listen address for -serve")
 	fs.Float64Var(&o.speedup, "speedup", 60, "virtual seconds per wall second for -serve")
@@ -194,7 +218,19 @@ func run(args []string, stdout io.Writer) error {
 		}
 		classes := workload.DefaultRequestClasses()
 		mix := workload.DefaultClassMix()
-		mgrCfg.Admission = adm
+		if policy, enabled, _ := parseRetry(o.retryStr); enabled {
+			// Close the loop: turned-away users come back under the
+			// chosen policy, with the circuit breaker armed.
+			rcfg := workload.DefaultRetryConfig(policy)
+			rcfg.Breaker = workload.DefaultBreakerConfig()
+			rl, err := workload.NewRetryLoop(rcfg, adm, e.RNG().Fork("retry"))
+			if err != nil {
+				return err
+			}
+			mgrCfg.Retry = rl
+		} else {
+			mgrCfg.Admission = adm
+		}
 		mgrCfg.ClassDemand = func(now time.Duration) [workload.NumClasses]float64 {
 			erl := demand(now) / srvCfg.Capacity
 			var shares, fresh [workload.NumClasses]float64
@@ -263,6 +299,11 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "SLO misses %-12s %.2f%% of active ticks\n",
 				workload.Class(c).String()+":", u.SLOMissRate[c]*100)
 		}
+		if rl := mgr.Retry(); rl != nil {
+			fmt.Fprintf(stdout, "users retried:    %.0f (amplification %.2fx)\n", u.Retried, u.RetryAmplification)
+			fmt.Fprintf(stdout, "users abandoned:  %.0f (goodput %.0f)\n", u.Abandoned, u.Goodput)
+			fmt.Fprintf(stdout, "breaker:          %s (%d trips)\n", rl.State(), u.BreakerTrips)
+		}
 	}
 
 	if o.csvPath != "" {
@@ -311,6 +352,10 @@ func runServe(e *sim.Engine, mgr *core.Manager, dc *core.DataCenter, o options, 
 
 	paceErr := srv.Run(ctx)
 
+	// Drain order matters: first end the SSE streams (each subscriber
+	// gets a final shutdown event and its handler returns), then let the
+	// HTTP server wait out in-flight scrapes within the grace window.
+	srv.Shutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(shutdownCtx)

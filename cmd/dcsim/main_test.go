@@ -55,6 +55,29 @@ func TestRunUsers(t *testing.T) {
 	}
 }
 
+func TestRunUsersRetry(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "coordinated", "-fleet", "8", "-days", "1", "-users", "-retry", "budget"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"users retried:", "users abandoned:", "breaker:", "amplification"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRetryFlagValidation(t *testing.T) {
+	if err := run([]string{"-retry", "bogus"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-retry") {
+		t.Errorf("bogus -retry not rejected: %v", err)
+	}
+	if err := run([]string{"-retry", "naive"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-users") {
+		t.Errorf("-retry without -users not rejected: %v", err)
+	}
+}
+
 func TestRunFacility(t *testing.T) {
 	if err := run([]string{"-mode", "coordinated", "-fleet", "10", "-days", "1", "-facility"}, io.Discard); err != nil {
 		t.Fatal(err)

@@ -109,7 +109,13 @@ type Degrader struct {
 	// request-level shed ladder so infrastructure trouble is expressed
 	// in users (degraded classes, rejections), not only in watts.
 	admission *workload.Admission
-	survival  bool
+	// retry, when linked, lets the degrader trip the admission-side
+	// circuit breaker the moment a correlated fault guarantees a
+	// rejection wave, instead of waiting for the rate window to see it;
+	// its recovery hysteresis also holds the shed ladder at >= 1 until
+	// capacity has been stable long enough for the breaker to close.
+	retry    *workload.RetryLoop
+	survival bool
 
 	capEvents     int
 	survivalSheds int
@@ -164,10 +170,29 @@ func (d *Degrader) SetAdmission(a *workload.Admission) {
 	d.syncAdmission()
 }
 
+// SetRetry links the closed-loop retry controller: infrastructure
+// faults that guarantee a rejection wave (rack loss, capacity dips, UPS
+// depletion) trip its circuit breaker immediately, and the shed ladder
+// will not fully release while the breaker is open or probing. Pass nil
+// to unlink.
+func (d *Degrader) SetRetry(r *workload.RetryLoop) {
+	d.retry = r
+	if r != nil && d.admission == nil {
+		d.admission = r.Admission()
+	}
+	d.syncAdmission()
+}
+
 // AdmissionShedLevel reports the user-facing shed level the degradation
 // state maps to, whether or not a controller is linked.
 func (d *Degrader) AdmissionShedLevel() int {
 	level := d.ladder
+	if d.retry != nil && d.retry.State() != workload.BreakerClosed && level < 1 {
+		// Recovery hysteresis: while the breaker is open or probing,
+		// capacity has not proven stable — keep best-effort traffic
+		// degraded rather than releasing everything into the storm.
+		level = 1
+	}
 	if d.capsOn && level < 1 {
 		// Emergency caps throttle capacity: degrade best-effort traffic
 		// rather than letting the fair share sag for everyone.
@@ -228,8 +253,18 @@ func (d *Degrader) OnNotice(e *sim.Engine, n fault.Notice) {
 	case fault.GeneratorOnline:
 		// Generator carries the full critical load: keep the caps (one
 		// failure from dark) but no additional action.
+	case fault.RackFailure, fault.CapacityDip:
+		// A correlated capacity loss makes a rejection wave certain:
+		// trip the breaker now so clients fast-fail cheaply instead of
+		// feeding the retry storm while the rate window catches up.
+		if n.Start && d.retry != nil {
+			d.retry.Trip()
+		}
 	case fault.UPSDepleted:
 		if n.Start {
+			if d.retry != nil {
+				d.retry.Trip()
+			}
 			// Store empty, no generator: shed to the survival set now;
 			// anything still drawing is unserved load.
 			target := int(math.Ceil(float64(d.dc.Fleet().Size()) * d.cfg.SurvivalFrac))

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/dvfs"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/onoff"
 	"repro/internal/server"
@@ -81,8 +82,14 @@ type ManagerConfig struct {
 	// ClassDemand; the aggregate demand function may then be nil.
 	Admission *workload.Admission
 	// ClassDemand reports the fresh per-class user arrivals of the tick
-	// ending at now. Required with Admission, ignored without.
+	// ending at now. Required with Admission or Retry, ignored without.
 	ClassDemand func(now time.Duration) [workload.NumClasses]float64
+	// Retry, when set, runs closed-loop admission: the retry loop (which
+	// wraps its own Admission) ticks ahead of dispatch, so rejected and
+	// SLO-missed users come back as retry-inflated demand and capacity
+	// planning sees what actually hits the front door. Mutually
+	// exclusive with Admission; requires ClassDemand.
+	Retry *workload.RetryLoop
 }
 
 // Validate checks the configuration.
@@ -120,8 +127,11 @@ func (c ManagerConfig) Validate() error {
 	if c.InitialOn < 0 || c.InitialOn > c.FleetSize {
 		return fmt.Errorf("core: initial on %d out of [0,%d]", c.InitialOn, c.FleetSize)
 	}
-	if (c.Admission == nil) != (c.ClassDemand == nil) {
-		return fmt.Errorf("core: admission controller and class demand must be set together")
+	if c.Retry != nil && c.Admission != nil {
+		return fmt.Errorf("core: Retry already wraps an admission controller; set one of Retry and Admission")
+	}
+	if (c.Admission != nil || c.Retry != nil) != (c.ClassDemand != nil) {
+		return fmt.Errorf("core: admission/retry controller and class demand must be set together")
 	}
 	return nil
 }
@@ -163,14 +173,26 @@ type RunResult struct {
 // UserOutcomes is the user-visible side of a managed run: what happened
 // to the people behind the load curve while the power side actuated.
 type UserOutcomes struct {
-	// Offered is cumulative fresh user arrivals; Admitted, Rejected,
-	// and the closing DeferredBacklog partition it.
+	// Offered is cumulative pool arrivals (retry re-presentations
+	// included when a retry loop runs); Admitted, Rejected, and the
+	// closing DeferredBacklog partition it.
 	Offered, Admitted, Rejected, DeferredBacklog float64
 	// Degraded counts admitted users served below full quality.
 	Degraded float64
 	// SLOMissRate is, per class, the fraction of its active ticks whose
 	// Erlang-C expected wait exceeded the class SLO.
 	SLOMissRate [workload.NumClasses]float64
+	// Fresh, Retried, Abandoned, Goodput, InRetry,
+	// RetryAmplification, and BreakerTrips describe the closed loop
+	// and are populated only when the run used a retry loop: first
+	// arrivals, cumulative retry re-arrivals, users who gave up,
+	// completed users (admitted net of SLO re-entries), users still
+	// waiting to retry at run end, total attempts over fresh arrivals,
+	// and circuit-breaker openings. Fresh == Goodput + Abandoned +
+	// InRetry + DeferredBacklog at any instant.
+	Fresh, Retried, Abandoned, Goodput, InRetry float64
+	RetryAmplification                          float64
+	BreakerTrips                                int64
 }
 
 // Manager is the closed-loop macro-resource manager over one fleet.
@@ -197,6 +219,10 @@ type Manager struct {
 	lastResp     time.Duration
 	curPState    int
 	lastOut      workload.TickOutcome
+	lastROut     workload.RetryOutcome
+	// capFactor scales the serving capacity the admission layer sees; a
+	// CapacityDip fault notice drops it below 1 until the dip reverts.
+	capFactor float64
 }
 
 // NewManager builds the manager and its fleet on the engine.
@@ -215,7 +241,7 @@ func NewManagerForFleet(e *sim.Engine, cfg ManagerConfig, fleet *Fleet, demand D
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if demand == nil && cfg.Admission == nil {
+	if demand == nil && cfg.Admission == nil && cfg.Retry == nil {
 		return nil, fmt.Errorf("core: nil demand function")
 	}
 	if fleet == nil || fleet.Size() != cfg.FleetSize {
@@ -245,11 +271,18 @@ func NewManagerForFleet(e *sim.Engine, cfg ManagerConfig, fleet *Fleet, demand D
 		m.lookahead = int(math.Ceil(float64(cfg.ServerConfig.BootDelay)/float64(cfg.DecisionPeriod))) + 1
 	}
 	m.lastResp = cfg.Queue.ServiceTime
+	m.capFactor = 1
 	if cfg.Admission != nil {
 		// The invariant checker picks the controller up through its
 		// Checkable interface: user conservation is scanned with the
 		// physical laws.
 		e.Register(cfg.Admission)
+	}
+	if cfg.Retry != nil {
+		// Both ledgers ride the checker: the pool's open-loop partition
+		// and the closed loop's extended conservation.
+		e.Register(cfg.Retry)
+		e.Register(cfg.Retry.Admission())
 	}
 	return m, nil
 }
@@ -257,13 +290,57 @@ func NewManagerForFleet(e *sim.Engine, cfg ManagerConfig, fleet *Fleet, demand D
 // Fleet exposes the managed fleet.
 func (m *Manager) Fleet() *Fleet { return m.fleet }
 
-// Admission exposes the request-level admission controller (nil when
-// the run is fluid-only).
-func (m *Manager) Admission() *workload.Admission { return m.cfg.Admission }
+// Admission exposes the request-level admission controller — the retry
+// loop's wrapped pool when the run is closed-loop — or nil when the run
+// is fluid-only.
+func (m *Manager) Admission() *workload.Admission {
+	if m.cfg.Retry != nil {
+		return m.cfg.Retry.Admission()
+	}
+	return m.cfg.Admission
+}
+
+// Retry exposes the closed-loop retry controller (nil without one).
+func (m *Manager) Retry() *workload.RetryLoop { return m.cfg.Retry }
 
 // LastOutcome reports the most recent admission tick (zero value before
 // the first tick or without admission control).
 func (m *Manager) LastOutcome() workload.TickOutcome { return m.lastOut }
+
+// LastRetryOutcome reports the most recent closed-loop tick (zero value
+// before the first tick or without a retry loop).
+func (m *Manager) LastRetryOutcome() workload.RetryOutcome { return m.lastROut }
+
+// SetCapacityFactor scales the serving capacity the admission layer
+// sees, clamped to [0,1]. 1 is nominal; a CapacityDip fault drives it
+// down. No-op on fluid-only runs (dispatch capacity is unaffected:
+// the dip models software serving capacity, not rack power).
+func (m *Manager) SetCapacityFactor(f float64) {
+	if math.IsNaN(f) || f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	m.capFactor = f
+}
+
+// CapacityFactor reports the current serving-capacity scale.
+func (m *Manager) CapacityFactor() float64 { return m.capFactor }
+
+// OnNotice is a fault.Listener: subscribe it to an Injector so
+// CapacityDip events scale the admission layer's capacity view for the
+// dip's duration.
+func (m *Manager) OnNotice(e *sim.Engine, n fault.Notice) {
+	if n.Kind != fault.CapacityDip {
+		return
+	}
+	if n.Start {
+		m.SetCapacityFactor(1 - n.Frac)
+	} else {
+		m.SetCapacityFactor(1)
+	}
+}
 
 // Mode reports the policy composition the manager is running.
 func (m *Manager) Mode() PolicyMode { return m.cfg.Mode }
@@ -295,9 +372,19 @@ func (m *Manager) tick(now time.Duration) {
 	// users it had to turn away, or the fleet never grows out of a
 	// rejection regime. Without admission it equals offered.
 	planDemand := -1.0
-	if adm := m.cfg.Admission; adm != nil {
+	if rl := m.cfg.Retry; rl != nil {
 		classes := m.cfg.ClassDemand(now)
-		out := adm.Tick(m.cfg.DecisionPeriod, &classes, float64(m.fleet.ActiveCount()))
+		rout := rl.Tick(m.cfg.DecisionPeriod, &classes, float64(m.fleet.ActiveCount())*m.capFactor)
+		m.lastROut = rout
+		m.lastOut = rout.Pool
+		offered = rout.Pool.AdmittedErl * m.cfg.ServerConfig.Capacity
+		// Plan on the retry-inflated arrival stream — fresh plus retries
+		// plus what the breaker fast-failed — or the fleet never grows
+		// out of the storm it is feeding.
+		planDemand = rout.OfferedErl * m.cfg.ServerConfig.Capacity
+	} else if adm := m.cfg.Admission; adm != nil {
+		classes := m.cfg.ClassDemand(now)
+		out := adm.Tick(m.cfg.DecisionPeriod, &classes, float64(m.fleet.ActiveCount())*m.capFactor)
 		m.lastOut = out
 		offered = out.AdmittedErl * m.cfg.ServerConfig.Capacity
 		planDemand = out.DemandErl * m.cfg.ServerConfig.Capacity
@@ -407,7 +494,7 @@ func (m *Manager) Result(now time.Duration) RunResult {
 	if m.offeredTotal > 0 {
 		res.DroppedFraction = m.droppedTotal / m.offeredTotal
 	}
-	if adm := m.cfg.Admission; adm != nil {
+	if adm := m.Admission(); adm != nil {
 		u := &UserOutcomes{
 			Offered:         adm.OfferedUsers(),
 			Admitted:        adm.AdmittedUsers(),
@@ -417,6 +504,15 @@ func (m *Manager) Result(now time.Duration) RunResult {
 		}
 		for c := 0; c < workload.NumClasses; c++ {
 			u.SLOMissRate[c] = adm.SLOMissRate(workload.Class(c))
+		}
+		if rl := m.cfg.Retry; rl != nil {
+			u.Fresh = rl.FreshUsers()
+			u.Retried = rl.RetriedUsers()
+			u.Abandoned = rl.AbandonedUsers()
+			u.Goodput = rl.GoodputUsers()
+			u.InRetry = rl.InRetryTotal()
+			u.RetryAmplification = rl.RetryAmplification()
+			u.BreakerTrips = rl.Trips()
 		}
 		res.Users = u
 	}

@@ -144,6 +144,11 @@ func registry() map[string]Runner {
 		"users-surge": RunUsersSurge,
 		"users-flash": RunUsersFlash,
 		"users-qmin":  RunUsersQmin,
+		// Metastability family: closed-loop client retries, circuit
+		// breaking, and correlated power-domain faults.
+		"retry-storm":  RunRetryStorm,
+		"retry-budget": RunRetryBudget,
+		"fault-rack":   RunFaultRack,
 	}
 }
 

@@ -27,9 +27,10 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablate-dc", "ablate-forecast", "ablate-hysteresis", "ablate-ladder",
 		"animoto", "capping", "consolidate", "crac", "distributed", "dvfs",
-		"fault-crac", "fault-outage", "fault-sensor", "fig1",
+		"fault-crac", "fault-outage", "fault-rack", "fault-sensor", "fig1",
 		"fig2", "fig3", "fig4", "geo", "hetero", "idle60", "interfere", "oversub",
-		"parking", "pathology", "pue2", "sensornet", "telemetry", "tier2",
+		"parking", "pathology", "pue2", "retry-budget", "retry-storm",
+		"sensornet", "telemetry", "tier2",
 		"tiers", "users-flash", "users-qmin", "users-surge",
 	}
 	got := IDs()

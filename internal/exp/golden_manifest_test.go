@@ -9,12 +9,13 @@ import (
 )
 
 // preRequestGoldenSHA256 pins the byte content of every golden fixture
-// that predates the request-level experiment family. The request-level
-// PR (and anything after it) must leave the fluid-only experiments
-// byte-identical: admission control is opt-in per experiment, so adding
-// it cannot legally perturb an experiment that never wired it. If one
-// of these changes intentionally, regenerate with -update and update
-// the hash here in the same commit, with the reason in the message.
+// that predates the metastability (retry/breaker) experiment family.
+// Each new opt-in layer — request-level admission, then the closed
+// retry loop — must leave every pre-existing experiment byte-identical:
+// the machinery is opt-in per experiment, so adding it cannot legally
+// perturb an experiment that never wired it. If one of these changes
+// intentionally, regenerate with -update and update the hash here in
+// the same commit, with the reason in the message.
 var preRequestGoldenSHA256 = map[string]string{
 	"ablate-dc.json":         "ce720da644369646b8f7cc4ee8f8be73be82b64547a3a313cbf5b2dd64201e7e",
 	"ablate-forecast.json":   "c46e11317acbf91f05516fe82ec3d8c6ae89de7a246ea86310e309e9ac27ad71",
@@ -45,11 +46,14 @@ var preRequestGoldenSHA256 = map[string]string{
 	"telemetry.json":         "395bc553980c1b09abae532db32f3e05859b1109afb100b7745aff89da81efa6",
 	"tier2.json":             "9aaf6ebe7cafc1714eb291f27afff5635bcec09f89366dbc429d71b7fda119f5",
 	"tiers.json":             "73938b7d1018ff7f3868b4e976affdf78c9a30574152590eeddf7f158212a997",
+	"users-flash.json":       "c1a193346c53c63baa5a2b5e1b18e355a5b40b87f26bd3af8ba46057d570a97d",
+	"users-qmin.json":        "70cd8c37e7b87a1ddd59507e2770430314968d456b11744aacc57c9f646ac258",
+	"users-surge.json":       "dccf919852bf24f2579722bd017c00dc94b3090f1bd4dafed0f56bc3cd5f80e3",
 }
 
 // TestFluidGoldensByteIdentical is the differential pin: the fixtures of
-// every fluid-only experiment must remain byte-for-byte what they were
-// before the request-level family landed.
+// every pre-existing experiment must remain byte-for-byte what they were
+// before the newest opt-in family landed.
 func TestFluidGoldensByteIdentical(t *testing.T) {
 	for name, want := range preRequestGoldenSHA256 {
 		data, err := os.ReadFile(filepath.Join("testdata", "golden", name))

@@ -1,0 +1,539 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The metastability family closes the loop the request-level experiments
+// leave open: turned-away users come back. A brief capacity dip seeds
+// retries, retries inflate offered load, rejections burn capacity on
+// error handling, and the overload outlives its trigger — the paper's
+// flash-crowd pathologies (§3) with the client population in the loop.
+
+// retryExpAdmission is the admission controller the metastability
+// experiments share: interactive-only traffic, so the fair-share floor
+// sits high (degraded service is barely acceptable) and rejection —
+// the storm's fuel — starts near nominal capacity instead of at 2x.
+func retryExpAdmission() (*workload.Admission, error) {
+	cfg := workload.DefaultAdmissionConfig()
+	cfg.Qmin = 0.9
+	return workload.NewAdmission(cfg)
+}
+
+// retryExpConfig is the shared client population: up to 4 attempts, a
+// 30 s base backoff matching the tick, and 30 % of a service time burned
+// per pool rejection. SLO-retry churn is off so the ledger isolates the
+// rejection feedback.
+func retryExpConfig(policy workload.RetryPolicy) workload.RetryConfig {
+	cfg := workload.DefaultRetryConfig(policy)
+	cfg.SLORetryFrac = 0
+	cfg.RejectCostFrac = 0.3
+	return cfg
+}
+
+// RetryScenario is one client policy's outcome through a storm trigger.
+type RetryScenario struct {
+	Policy         string
+	BreakerOn      bool
+	GoodputFrac    float64 // completed / fresh
+	AbandonedFrac  float64 // gave up / fresh
+	Amplification  float64 // attempts per fresh user
+	PeakOfferedErl float64
+	PeakInRetry    float64
+	FinalInRetry   float64
+	BreakerTrips   int64
+	// OverloadMinutes counts ticks (from the trigger on) where the
+	// retry-inflated offered load exceeded nominal capacity.
+	OverloadMinutes float64
+	// RecoveryMinutes is how long past the trigger's end the system
+	// kept turning users away (pool rejections or breaker fast-fails).
+	RecoveryMinutes float64
+}
+
+// retryScenarioTrace drives one RetryLoop through a capacity trace and
+// summarizes it. capAt returns nominal capacity at a tick; dipStart /
+// dipEnd bracket the trigger in ticks.
+func retryScenarioTrace(rl *workload.RetryLoop, dt time.Duration, steps int,
+	freshErl float64, capAt func(i int) float64, dipStart, dipEnd int) (RetryScenario, error) {
+	var s RetryScenario
+	s.Policy = rl.Config().Policy.String()
+	s.BreakerOn = rl.Config().Breaker.Enabled
+	st := workload.DefaultRequestClasses()[workload.ClassInteractive].ServiceTime
+	nominal := capAt(-1)
+	overloadTicks := 0
+	lastDirty := -1
+	for i := 0; i < steps; i++ {
+		var fresh [workload.NumClasses]float64
+		fresh[workload.ClassInteractive] = workload.UsersPerTick(freshErl/st.Seconds(), dt)
+		out := rl.Tick(dt, &fresh, capAt(i))
+		if err := rl.CheckInvariants(time.Duration(i) * dt); err != nil {
+			return s, fmt.Errorf("tick %d: %w", i, err)
+		}
+		if i >= dipStart && out.OfferedErl > nominal*(1+1e-9) {
+			overloadTicks++
+		}
+		var away float64
+		for c := 0; c < workload.NumClasses; c++ {
+			away += out.Pool.Rejected[c] + out.FastFailed[c]
+		}
+		if away > 1e-6 {
+			lastDirty = i
+		}
+		if out.OfferedErl > s.PeakOfferedErl {
+			s.PeakOfferedErl = out.OfferedErl
+		}
+		if q := rl.InRetryTotal(); q > s.PeakInRetry {
+			s.PeakInRetry = q
+		}
+	}
+	fresh := rl.FreshUsers()
+	if fresh > 0 {
+		s.GoodputFrac = rl.GoodputUsers() / fresh
+		s.AbandonedFrac = rl.AbandonedUsers() / fresh
+	}
+	s.Amplification = rl.RetryAmplification()
+	s.FinalInRetry = rl.InRetryTotal()
+	s.BreakerTrips = rl.Trips()
+	s.OverloadMinutes = float64(overloadTicks) * dt.Minutes()
+	if lastDirty >= dipEnd {
+		s.RecoveryMinutes = float64(lastDirty-dipEnd+1) * dt.Minutes()
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// retry-storm — a 5-minute dip, a 10-hour outage (§3 flash-crowd feedback)
+// ---------------------------------------------------------------------------
+
+// RetryStormResult contrasts four client populations through the same
+// capacity dip: naive immediate retries, a retry budget, naive clients
+// behind a circuit breaker, and the budget-plus-breaker stack.
+type RetryStormResult struct {
+	FreshErl       float64
+	CapacityErl    float64
+	DipErl         float64
+	TriggerMinutes float64
+	Naive          RetryScenario
+	Budget         RetryScenario
+	Breaker        RetryScenario
+	Stack          RetryScenario
+}
+
+// ID implements Result.
+func (RetryStormResult) ID() string { return "retry-storm" }
+
+// Report implements Result.
+func (r RetryStormResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("retry-storm", "metastable retry storm: a 5-minute dip against three client populations (§3)"))
+	fmt.Fprintf(&b, "fresh %.0f erl against %.0f erl; trigger: %.0f min at %.0f erl\n",
+		r.FreshErl, r.CapacityErl, r.TriggerMinutes, r.DipErl)
+	b.WriteString("scenario        goodput  abandoned  amplif  peak_offered  overload_min  recovery_min  trips\n")
+	row := func(name string, s RetryScenario) {
+		fmt.Fprintf(&b, "%-14s  %7.3f  %9.3f  %6.2f  %12.0f  %12.1f  %12.1f  %5d\n",
+			name, s.GoodputFrac, s.AbandonedFrac, s.Amplification,
+			s.PeakOfferedErl, s.OverloadMinutes, s.RecoveryMinutes, s.BreakerTrips)
+	}
+	row("naive", r.Naive)
+	row("retry-budget", r.Budget)
+	row("naive+breaker", r.Breaker)
+	row("budget+breaker", r.Stack)
+	b.WriteString("shape check: the naive storm outlives its trigger by >=10x; the budget breaks the feedback;\n")
+	b.WriteString("a breaker alone caps the waste but naive clients re-trip it every close (availability duty-cycles)\n")
+	return b.String()
+}
+
+// RunRetryStorm dips capacity from 100 to 30 erlangs for five minutes
+// under 90 erlangs of steady interactive demand, with clients closed
+// into the loop. Naive retries push rejected-work waste past the 10-erl
+// headroom (the divergence threshold is headroom/RejectCostFrac ~ 33
+// rejected erlangs, far exceeded during the dip), so the overload
+// sustains itself for the rest of the horizon. The retry budget caps
+// retry flow below the threshold and recovers within a tick. A breaker
+// over naive clients converts pool rejections into cheap fast-fails —
+// roughly doubling goodput — but cannot fix the clients: every time its
+// probes pass and it closes, the queued naive cohorts arrive all at
+// once and re-trip it, so availability duty-cycles at the breaker
+// period for the rest of the run. Only the full stack (budget clients
+// behind a breaker) both survives the dip and returns to clean service.
+// The loop is analytic (no engine); the closed-loop conservation
+// invariant is asserted every tick.
+func RunRetryStorm(env *Env) (Result, error) {
+	const (
+		dt          = 30 * time.Second
+		horizon     = 12 * time.Hour
+		freshErl    = 90.0
+		capacityErl = 100.0
+		dipErl      = 30.0
+		dipStart    = 240 // 2 h
+		dipEnd      = 250 // +5 min
+	)
+	steps := int(horizon / dt)
+	capAt := func(i int) float64 {
+		if i >= dipStart && i < dipEnd {
+			return dipErl
+		}
+		return capacityErl
+	}
+	res := RetryStormResult{
+		FreshErl:       freshErl,
+		CapacityErl:    capacityErl,
+		DipErl:         dipErl,
+		TriggerMinutes: float64(dipEnd-dipStart) * dt.Minutes(),
+	}
+	for _, sc := range []struct {
+		out     *RetryScenario
+		policy  workload.RetryPolicy
+		breaker bool
+	}{
+		{&res.Naive, workload.RetryNaive, false},
+		{&res.Budget, workload.RetryBudget, false},
+		{&res.Breaker, workload.RetryNaive, true},
+		{&res.Stack, workload.RetryBudget, true},
+	} {
+		adm, err := retryExpAdmission()
+		if err != nil {
+			return nil, err
+		}
+		cfg := retryExpConfig(sc.policy)
+		if sc.breaker {
+			cfg.Breaker = workload.DefaultBreakerConfig()
+		}
+		rng := sim.NewRNG(env.Seed).Fork("retry-storm/" + sc.policy.String())
+		rl, err := workload.NewRetryLoop(cfg, adm, rng)
+		if err != nil {
+			return nil, err
+		}
+		s, err := retryScenarioTrace(rl, dt, steps, freshErl, capAt, dipStart, dipEnd)
+		if err != nil {
+			return nil, fmt.Errorf("retry-storm %s: %w", sc.policy, err)
+		}
+		*sc.out = s
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// retry-budget — client policy sweep through a demand spike
+// ---------------------------------------------------------------------------
+
+// RetryBudgetResult sweeps the client retry policy (no breaker) through
+// one demand spike: does the client's own behaviour break the feedback?
+type RetryBudgetResult struct {
+	BaseErl      float64
+	SpikeErl     float64
+	CapacityErl  float64
+	SpikeMinutes float64
+	Naive        RetryScenario
+	Backoff      RetryScenario
+	Budget       RetryScenario
+}
+
+// ID implements Result.
+func (RetryBudgetResult) ID() string { return "retry-budget" }
+
+// Report implements Result.
+func (r RetryBudgetResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("retry-budget", "client retry policies through a demand spike: backoff delays, budgets cap (§3)"))
+	fmt.Fprintf(&b, "baseline %.0f erl, %.0f-min spike to %.0f erl, capacity %.0f erl\n",
+		r.BaseErl, r.SpikeMinutes, r.SpikeErl, r.CapacityErl)
+	b.WriteString("policy    goodput  abandoned  amplif  peak_in_retry  overload_min  recovery_min\n")
+	row := func(name string, s RetryScenario) {
+		fmt.Fprintf(&b, "%-8s  %7.3f  %9.3f  %6.2f  %13.0f  %12.1f  %12.1f\n",
+			name, s.GoodputFrac, s.AbandonedFrac, s.Amplification,
+			s.PeakInRetry, s.OverloadMinutes, s.RecoveryMinutes)
+	}
+	row("naive", r.Naive)
+	row("backoff", r.Backoff)
+	row("budget", r.Budget)
+	b.WriteString("shape check: the budget dominates naive goodput; backoff spreads the storm without capping it\n")
+	return b.String()
+}
+
+// RunRetryBudget holds interactive demand at 80 erlangs against 100 and
+// spikes it to 150 for five minutes, once per client policy with the
+// breaker off. The spike itself is identical; everything that differs
+// afterwards is the client population's own dynamics.
+func RunRetryBudget(env *Env) (Result, error) {
+	const (
+		dt          = 30 * time.Second
+		horizon     = 6 * time.Hour
+		baseErl     = 80.0
+		spikeErl    = 150.0
+		capacityErl = 100.0
+		spikeStart  = 120 // 1 h
+		spikeEnd    = 130 // +5 min
+	)
+	steps := int(horizon / dt)
+	res := RetryBudgetResult{
+		BaseErl:      baseErl,
+		SpikeErl:     spikeErl,
+		CapacityErl:  capacityErl,
+		SpikeMinutes: float64(spikeEnd-spikeStart) * dt.Minutes(),
+	}
+	for _, sc := range []struct {
+		out    *RetryScenario
+		policy workload.RetryPolicy
+	}{
+		{&res.Naive, workload.RetryNaive},
+		{&res.Backoff, workload.RetryBackoff},
+		{&res.Budget, workload.RetryBudget},
+	} {
+		adm, err := retryExpAdmission()
+		if err != nil {
+			return nil, err
+		}
+		rng := sim.NewRNG(env.Seed).Fork("retry-budget/" + sc.policy.String())
+		rl, err := workload.NewRetryLoop(retryExpConfig(sc.policy), adm, rng)
+		if err != nil {
+			return nil, err
+		}
+		st := workload.DefaultRequestClasses()[workload.ClassInteractive].ServiceTime
+		overloadTicks := 0
+		lastDirty := -1
+		var peakOff, peakQ float64
+		for i := 0; i < steps; i++ {
+			erl := baseErl
+			if i >= spikeStart && i < spikeEnd {
+				erl = spikeErl
+			}
+			var fresh [workload.NumClasses]float64
+			fresh[workload.ClassInteractive] = workload.UsersPerTick(erl/st.Seconds(), dt)
+			out := rl.Tick(dt, &fresh, capacityErl)
+			if err := rl.CheckInvariants(time.Duration(i) * dt); err != nil {
+				return nil, fmt.Errorf("retry-budget %s: tick %d: %w", sc.policy, i, err)
+			}
+			if i >= spikeStart && out.OfferedErl > capacityErl*(1+1e-9) {
+				overloadTicks++
+			}
+			var away float64
+			for c := 0; c < workload.NumClasses; c++ {
+				away += out.Pool.Rejected[c] + out.FastFailed[c]
+			}
+			if away > 1e-6 {
+				lastDirty = i
+			}
+			if out.OfferedErl > peakOff {
+				peakOff = out.OfferedErl
+			}
+			if q := rl.InRetryTotal(); q > peakQ {
+				peakQ = q
+			}
+		}
+		s := RetryScenario{
+			Policy:          sc.policy.String(),
+			Amplification:   rl.RetryAmplification(),
+			PeakOfferedErl:  peakOff,
+			PeakInRetry:     peakQ,
+			FinalInRetry:    rl.InRetryTotal(),
+			OverloadMinutes: float64(overloadTicks) * dt.Minutes(),
+		}
+		if fresh := rl.FreshUsers(); fresh > 0 {
+			s.GoodputFrac = rl.GoodputUsers() / fresh
+			s.AbandonedFrac = rl.AbandonedUsers() / fresh
+		}
+		if lastDirty >= spikeEnd {
+			s.RecoveryMinutes = float64(lastDirty-spikeEnd+1) * dt.Minutes()
+		}
+		*sc.out = s
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// fault-rack — correlated rack loss vs the same downtime dispersed (§2.1)
+// ---------------------------------------------------------------------------
+
+// RackScenario is one fault pattern's user-visible outcome.
+type RackScenario struct {
+	Injections    int
+	MinActive     int
+	FinalActive   int
+	GoodputFrac   float64
+	AbandonedFrac float64
+	Amplification float64
+	RejectedUsers float64
+	FastFailed    float64
+	BreakerTrips  int64
+	ShedTicks     int
+}
+
+// FaultRackResult compares one whole-rack failure against the identical
+// server-downtime budget dispersed as independent crashes, both driven
+// through the closed retry loop with the degrader's proactive breaker
+// trip wired to the fault bus.
+type FaultRackResult struct {
+	Servers       int
+	DemandErl     float64
+	DownServerMin float64
+	Correlated    RackScenario
+	Dispersed     RackScenario
+}
+
+// ID implements Result.
+func (FaultRackResult) ID() string { return "fault-rack" }
+
+// Report implements Result.
+func (r FaultRackResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("fault-rack", "correlated rack loss vs the same downtime dispersed (§2.1 failure domains)"))
+	fmt.Fprintf(&b, "%d servers, %.1f erl demand; both patterns spend %.0f server-minutes of downtime\n",
+		r.Servers, r.DemandErl, r.DownServerMin)
+	b.WriteString("pattern     faults  min_on  goodput  abandoned  amplif  rejected_u  fastfail_u  trips  shed_ticks\n")
+	row := func(name string, s RackScenario) {
+		fmt.Fprintf(&b, "%-10s  %6d  %6d  %7.3f  %9.4f  %6.3f  %10.0f  %10.0f  %5d  %10d\n",
+			name, s.Injections, s.MinActive, s.GoodputFrac, s.AbandonedFrac,
+			s.Amplification, s.RejectedUsers, s.FastFailed, s.BreakerTrips, s.ShedTicks)
+	}
+	row("correlated", r.Correlated)
+	row("dispersed", r.Dispersed)
+	b.WriteString("shape check: the same downtime hurts users only when it lands in one failure domain\n")
+	return b.String()
+}
+
+// RunFaultRack spends an identical server-downtime budget two ways
+// against the 32-server outage facility: one RackFailure takes a whole
+// 8-server rack (25 % of capacity) down for 30 minutes with a shared
+// repair, versus eight independent 30-minute ServerCrash events spaced
+// 45 minutes apart (never more than one down at a time). The closed
+// retry loop fronts the fleet; the degrader subscribes to the fault bus,
+// so the correlated loss trips the breaker proactively and holds the
+// shed ladder until the breaker closes. The dispersed pattern never
+// drops capacity below demand and shows how failure-domain concentration
+// — not downtime itself — is what users see.
+func RunFaultRack(env *Env) (Result, error) {
+	const dt = 30 * time.Second
+	srvCfg := server.DefaultConfig()
+	scale := env.FleetScale()
+	runScenario := func(correlated bool) (RackScenario, int, float64, error) {
+		var s RackScenario
+		e := env.NewEngine(env.Seed)
+		dc, err := outageFacility(e, scale)
+		if err != nil {
+			return s, 0, 0, err
+		}
+		fleet := dc.Fleet()
+		n := fleet.Size()
+		perRack := n / 4
+		demandErl := 0.85 * float64(n)
+		fleet.SetTarget(n)
+		if err := e.Run(srvCfg.BootDelay + time.Second); err != nil {
+			return s, 0, 0, err
+		}
+		fleet.Dispatch(e.Now(), 0.85*float64(n)*srvCfg.Capacity)
+
+		adm, err := retryExpAdmission()
+		if err != nil {
+			return s, 0, 0, err
+		}
+		rcfg := retryExpConfig(workload.RetryBudget)
+		rcfg.Breaker = workload.DefaultBreakerConfig()
+		rl, err := workload.NewRetryLoop(rcfg, adm, e.RNG().Fork("retry"))
+		if err != nil {
+			return s, 0, 0, err
+		}
+		deg, err := core.NewDegrader(e, dc, core.DegraderConfig{})
+		if err != nil {
+			return s, 0, 0, err
+		}
+		deg.SetRetry(rl)
+		deg.Start()
+
+		in := fault.NewInjector(e)
+		in.WireServers(fleet.Servers())
+		domains := make([][]int, 4)
+		for r := range domains {
+			for i := 0; i < perRack; i++ {
+				domains[r] = append(domains[r], r*perRack+i)
+			}
+		}
+		if err := in.WireDomains(domains); err != nil {
+			return s, 0, 0, err
+		}
+		in.Subscribe(deg.OnNotice)
+
+		var events []fault.Event
+		if correlated {
+			events = []fault.Event{{Kind: fault.RackFailure, At: time.Hour, Duration: 30 * time.Minute, Index: 0}}
+		} else {
+			// Same perRack x 30 min of downtime, one server at a time,
+			// striped across racks (stride 4 visits every rack in turn).
+			for i := 0; i < perRack; i++ {
+				events = append(events, fault.Event{
+					Kind: fault.ServerCrash, At: time.Hour + time.Duration(i)*45*time.Minute,
+					Duration: 30 * time.Minute, Index: (i * 4) % n,
+				})
+			}
+		}
+		if err := in.Arm(events); err != nil {
+			return s, 0, 0, err
+		}
+
+		s.MinActive = n
+		st := workload.DefaultRequestClasses()[workload.ClassInteractive].ServiceTime
+		var tickErr error
+		e.Every(dt, func(eng *sim.Engine) {
+			if tickErr != nil {
+				return
+			}
+			active := fleet.ActiveCount()
+			if active < s.MinActive {
+				s.MinActive = active
+			}
+			var fresh [workload.NumClasses]float64
+			fresh[workload.ClassInteractive] = workload.UsersPerTick(demandErl/st.Seconds(), dt)
+			out := rl.Tick(dt, &fresh, float64(active))
+			if err := rl.CheckInvariants(eng.Now()); err != nil {
+				tickErr = err
+				return
+			}
+			for c := 0; c < workload.NumClasses; c++ {
+				s.RejectedUsers += out.Pool.Rejected[c]
+				s.FastFailed += out.FastFailed[c]
+			}
+			if deg.AdmissionShedLevel() > 0 {
+				s.ShedTicks++
+			}
+		})
+		horizon := time.Hour + time.Duration(perRack)*45*time.Minute + time.Hour
+		if err := e.Run(horizon); err != nil {
+			return s, 0, 0, err
+		}
+		if tickErr != nil {
+			return s, 0, 0, tickErr
+		}
+		s.Injections = in.Injected()
+		s.FinalActive = fleet.ActiveCount()
+		if fresh := rl.FreshUsers(); fresh > 0 {
+			s.GoodputFrac = rl.GoodputUsers() / fresh
+			s.AbandonedFrac = rl.AbandonedUsers() / fresh
+		}
+		s.Amplification = rl.RetryAmplification()
+		s.BreakerTrips = rl.Trips()
+		return s, n, demandErl, nil
+	}
+	correlated, n, demandErl, err := runScenario(true)
+	if err != nil {
+		return nil, err
+	}
+	dispersed, _, _, err := runScenario(false)
+	if err != nil {
+		return nil, err
+	}
+	return FaultRackResult{
+		Servers:       n,
+		DemandErl:     demandErl,
+		DownServerMin: float64(n/4) * 30,
+		Correlated:    correlated,
+		Dispersed:     dispersed,
+	}, nil
+}

@@ -47,6 +47,16 @@ const (
 	SensorDropout
 	// SensorStuck latches one sensor node's reading.
 	SensorStuck
+	// RackFailure kills a whole wired failure domain (a rack or PDU
+	// span) at once: every server in the group crashes together and
+	// recovers together on one shared repair clock — the correlated
+	// counterpart of independent ServerCrash events.
+	RackFailure
+	// CapacityDip announces a facility-level serving-capacity loss (a
+	// borked deploy, a dependency brownout) without touching the power
+	// substrate: listeners scale their capacity view by 1-Frac until the
+	// dip reverts. The canonical retry-storm trigger.
+	CapacityDip
 	// GeneratorOnline is emitted (Start=true) when the backup generator
 	// picks up the load during an outage. Not injectable.
 	GeneratorOnline
@@ -68,6 +78,10 @@ func (k Kind) String() string {
 		return "sensor-dropout"
 	case SensorStuck:
 		return "sensor-stuck"
+	case RackFailure:
+		return "rack-failure"
+	case CapacityDip:
+		return "capacity-dip"
 	case GeneratorOnline:
 		return "generator-online"
 	case UPSDepleted:
@@ -85,9 +99,11 @@ type Notice struct {
 	At time.Duration
 	// Start is true at injection and false at revert/recovery.
 	Start bool
-	// Index identifies the target (CRAC unit, server, or sensor node);
-	// -1 for facility-wide kinds.
+	// Index identifies the target (CRAC unit, server, sensor node, or
+	// failure domain); -1 for facility-wide kinds.
 	Index int
+	// Frac is the capacity fraction lost, set only for CapacityDip.
+	Frac float64
 }
 
 // Listener receives fault notifications. Listeners run inside the event
@@ -105,9 +121,11 @@ type Event struct {
 	// (repair, recovery, grid restoration). Zero or negative means the
 	// fault is permanent for the run.
 	Duration time.Duration
-	// Index is the target CRAC unit, server, or sensor node. Ignored
-	// for UtilityOutage.
+	// Index is the target CRAC unit, server, sensor node, or failure
+	// domain. Ignored for UtilityOutage and CapacityDip.
 	Index int
+	// Frac is the capacity fraction lost in (0,1], CapacityDip only.
+	Frac float64
 }
 
 // Injector schedules faults onto an engine and notifies listeners.
@@ -122,6 +140,8 @@ type Injector struct {
 	servers []*server.Server
 	net     *sensornet.Network
 	utility *Utility
+	domains [][]int
+	dipFrac float64
 
 	injected int
 	reverted int
@@ -154,6 +174,32 @@ func (in *Injector) WireServers(ss []*server.Server) { in.servers = ss }
 
 // WireSensors attaches the sensor network whose nodes can fail.
 func (in *Injector) WireSensors(n *sensornet.Network) { in.net = n }
+
+// WireDomains attaches correlated failure domains: each group lists
+// server indices (into the WireServers slice) that share a rack or PDU
+// and therefore die and recover together under RackFailure. Requires
+// WireServers; every index must be in range.
+func (in *Injector) WireDomains(groups [][]int) error {
+	if len(in.servers) == 0 {
+		return fmt.Errorf("fault: WireDomains requires WireServers first")
+	}
+	for g, group := range groups {
+		if len(group) == 0 {
+			return fmt.Errorf("fault: domain %d is empty", g)
+		}
+		for _, idx := range group {
+			if idx < 0 || idx >= len(in.servers) {
+				return fmt.Errorf("fault: domain %d server index %d out of range [0,%d)", g, idx, len(in.servers))
+			}
+		}
+	}
+	in.domains = groups
+	return nil
+}
+
+// ActiveDip reports the capacity fraction currently lost to a
+// CapacityDip event (0 when none is active).
+func (in *Injector) ActiveDip() float64 { return in.dipFrac }
 
 // WireUtility attaches the utility-feed state machine (UPS battery,
 // generator start behaviour) used by UtilityOutage events.
@@ -212,6 +258,17 @@ func (in *Injector) validate(ev Event) error {
 	case SensorDropout, SensorStuck:
 		if in.net == nil {
 			return fmt.Errorf("fault: sensor fault armed without WireSensors")
+		}
+	case RackFailure:
+		if len(in.domains) == 0 {
+			return fmt.Errorf("fault: rack failure armed without WireDomains")
+		}
+		if ev.Index < 0 || ev.Index >= len(in.domains) {
+			return fmt.Errorf("fault: domain index %d out of range [0,%d)", ev.Index, len(in.domains))
+		}
+	case CapacityDip:
+		if !(ev.Frac > 0 && ev.Frac <= 1) {
+			return fmt.Errorf("fault: capacity dip fraction %v out of (0,1]", ev.Frac)
 		}
 	default:
 		return fmt.Errorf("fault: kind %v is not injectable", ev.Kind)
@@ -295,6 +352,57 @@ func (in *Injector) apply(e *sim.Engine, ev Event) {
 				in.notify(Notice{Kind: ServerCrash, At: e.Now(), Start: false, Index: ev.Index})
 			})
 		}
+	case RackFailure:
+		// Kill the whole domain as one correlated event: every server
+		// that can crash goes down now, and all of them share one repair
+		// clock instead of ServerCrash's per-machine recovery.
+		group := in.domains[ev.Index]
+		downed := 0
+		for _, idx := range group {
+			if in.servers[idx].Crash(now) {
+				downed++
+			}
+		}
+		if downed == 0 {
+			return // whole domain already dark; overlapping events coalesce
+		}
+		in.record(ev.Kind)
+		in.notify(Notice{Kind: RackFailure, At: now, Start: true, Index: ev.Index})
+		if ev.Duration > 0 {
+			e.ScheduleAfter(ev.Duration, func(e *sim.Engine) {
+				// Shared repair: bring back every machine in the domain
+				// that is still down; the MRM may have rebooted some.
+				recovered := 0
+				for _, idx := range group {
+					if in.servers[idx].State() == server.StateOff {
+						in.servers[idx].PowerOn(e)
+						recovered++
+					}
+				}
+				if recovered == 0 {
+					return
+				}
+				in.reverted++
+				in.notify(Notice{Kind: RackFailure, At: e.Now(), Start: false, Index: ev.Index})
+			})
+		}
+	case CapacityDip:
+		if in.dipFrac > 0 {
+			return // a dip is already active; overlapping events coalesce
+		}
+		in.dipFrac = ev.Frac
+		in.record(ev.Kind)
+		in.notify(Notice{Kind: CapacityDip, At: now, Start: true, Index: -1, Frac: ev.Frac})
+		if ev.Duration > 0 {
+			e.ScheduleAfter(ev.Duration, func(e *sim.Engine) {
+				if in.dipFrac != ev.Frac {
+					return
+				}
+				in.dipFrac = 0
+				in.reverted++
+				in.notify(Notice{Kind: CapacityDip, At: e.Now(), Start: false, Index: -1, Frac: ev.Frac})
+			})
+		}
 	case SensorDropout, SensorStuck:
 		mode := sensornet.FaultDropout
 		if ev.Kind == SensorStuck {
@@ -331,6 +439,9 @@ func (in *Injector) CheckInvariants(now time.Duration) error {
 	if in.reverted > in.injected {
 		return fmt.Errorf("fault: reverted %d > injected %d", in.reverted, in.injected)
 	}
+	if in.dipFrac < 0 || in.dipFrac > 1 {
+		return fmt.Errorf("fault: active dip fraction %v out of [0,1]", in.dipFrac)
+	}
 	if u := in.utility; u != nil {
 		if frac := u.cfg.Battery.ChargeFraction(); frac < -1e-9 || frac > 1+1e-9 {
 			return fmt.Errorf("fault: battery charge fraction %v out of [0,1]", frac)
@@ -352,15 +463,18 @@ func (in *Injector) CheckInvariants(now time.Duration) error {
 type ScheduleConfig struct {
 	// Horizon bounds injection times.
 	Horizon time.Duration
-	// OutageEvery, CRACEvery, CrashEvery, SensorEvery are the mean
-	// inter-arrival times per fault class.
-	OutageEvery, CRACEvery, CrashEvery, SensorEvery time.Duration
-	// OutageFor, CRACFor, CrashFor, SensorFor are the mean fault
-	// durations.
-	OutageFor, CRACFor, CrashFor, SensorFor time.Duration
-	// CRACs, Servers, Sensors size the index ranges targets are drawn
-	// from.
-	CRACs, Servers, Sensors int
+	// OutageEvery, CRACEvery, CrashEvery, SensorEvery, RackEvery,
+	// DipEvery are the mean inter-arrival times per fault class.
+	OutageEvery, CRACEvery, CrashEvery, SensorEvery, RackEvery, DipEvery time.Duration
+	// OutageFor, CRACFor, CrashFor, SensorFor, RackFor, DipFor are the
+	// mean fault durations.
+	OutageFor, CRACFor, CrashFor, SensorFor, RackFor, DipFor time.Duration
+	// CRACs, Servers, Sensors, Racks size the index ranges targets are
+	// drawn from (Racks counts wired failure domains).
+	CRACs, Servers, Sensors, Racks int
+	// DipFrac is the capacity fraction each generated dip removes, in
+	// (0,1]. Zero defaults to 0.5.
+	DipFrac float64
 }
 
 // GenerateSchedule draws a random fault program from rng. The result is
@@ -378,6 +492,8 @@ func GenerateSchedule(rng *sim.RNG, cfg ScheduleConfig) ([]Event, error) {
 		{"crac", cfg.CRACEvery, cfg.CRACFor},
 		{"crash", cfg.CrashEvery, cfg.CrashFor},
 		{"sensor", cfg.SensorEvery, cfg.SensorFor},
+		{"rack", cfg.RackEvery, cfg.RackFor},
+		{"dip", cfg.DipEvery, cfg.DipFor},
 	} {
 		if pair.every > 0 && pair.mean <= 0 {
 			return nil, fmt.Errorf("fault: %s class enabled with non-positive mean duration", pair.name)
@@ -413,6 +529,27 @@ func GenerateSchedule(rng *sim.RNG, cfg ScheduleConfig) ([]Event, error) {
 				d = time.Second
 			}
 			events = append(events, Event{Kind: kind, At: t, Duration: d, Index: rng.Intn(cfg.Sensors)})
+			t += time.Duration(rng.Exp(rate) * float64(time.Second))
+		}
+	}
+	// New classes draw after the originals so enabling them never
+	// perturbs the RNG sequence of a pre-existing schedule.
+	draw(RackFailure, cfg.RackEvery, cfg.RackFor, cfg.Racks)
+	if cfg.DipEvery > 0 {
+		frac := cfg.DipFrac
+		if frac <= 0 {
+			frac = 0.5
+		}
+		if frac > 1 {
+			return nil, fmt.Errorf("fault: dip fraction %v out of (0,1]", cfg.DipFrac)
+		}
+		rate := 1 / cfg.DipEvery.Seconds()
+		for t := time.Duration(rng.Exp(rate) * float64(time.Second)); t < cfg.Horizon; {
+			d := time.Duration(rng.Exp(1/cfg.DipFor.Seconds()) * float64(time.Second))
+			if d < time.Second {
+				d = time.Second
+			}
+			events = append(events, Event{Kind: CapacityDip, At: t, Duration: d, Index: -1, Frac: frac})
 			t += time.Duration(rng.Exp(rate) * float64(time.Second))
 		}
 	}

@@ -365,3 +365,196 @@ func TestUtilityConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+func domainFixture(t *testing.T, e *sim.Engine) (*Injector, []*server.Server) {
+	t.Helper()
+	in := NewInjector(e)
+	servers := make([]*server.Server, 4)
+	for i := range servers {
+		servers[i] = server.MustNew(server.DefaultConfig())
+		servers[i].PowerOn(e)
+	}
+	in.WireServers(servers)
+	if err := in.WireDomains([][]int{{0, 1}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	return in, servers
+}
+
+func TestRackFailureKillsDomainTogether(t *testing.T) {
+	e := sim.NewEngine(1)
+	in, servers := domainFixture(t, e)
+	log := collect(in)
+	if err := in.Arm([]Event{
+		{Kind: RackFailure, At: 10 * time.Minute, Duration: 30 * time.Minute, Index: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(15 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// The whole domain dies as one event; the other rack is untouched.
+	if servers[0].State() != server.StateOff || servers[1].State() != server.StateOff {
+		t.Fatalf("domain 0 states %v/%v, want both off", servers[0].State(), servers[1].State())
+	}
+	if servers[2].State() != server.StateActive || servers[3].State() != server.StateActive {
+		t.Fatalf("domain 1 states %v/%v, want both active", servers[2].State(), servers[3].State())
+	}
+	if in.Injected() != 1 || in.Count(RackFailure) != 1 {
+		t.Fatalf("correlated kill must count once: injected %d", in.Injected())
+	}
+	// Shared repair clock: both machines come back from the one revert.
+	boot := server.DefaultConfig().BootDelay
+	if err := e.Run(41*time.Minute + boot); err != nil {
+		t.Fatal(err)
+	}
+	if servers[0].State() != server.StateActive || servers[1].State() != server.StateActive {
+		t.Fatalf("domain 0 states %v/%v after repair", servers[0].State(), servers[1].State())
+	}
+	if in.Reverted() != 1 {
+		t.Fatalf("reverted %d, want 1 shared repair", in.Reverted())
+	}
+	if len(*log) != 2 || !(*log)[0].Start || (*log)[1].Start || (*log)[0].Index != 0 {
+		t.Fatalf("want one start + one end notice for domain 0, got %v", *log)
+	}
+}
+
+func TestRackFailureRepairSkipsRebootedServers(t *testing.T) {
+	e := sim.NewEngine(1)
+	in, servers := domainFixture(t, e)
+	if err := in.Arm([]Event{
+		{Kind: RackFailure, At: time.Minute, Duration: 30 * time.Minute, Index: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The MRM reboots one machine mid-repair; the shared repair must not
+	// double-boot it.
+	e.ScheduleAt(10*time.Minute, func(e *sim.Engine) { servers[2].PowerOn(e) })
+	boot := server.DefaultConfig().BootDelay
+	if err := e.Run(32*time.Minute + boot); err != nil {
+		t.Fatal(err)
+	}
+	if servers[2].State() != server.StateActive || servers[3].State() != server.StateActive {
+		t.Fatalf("states %v/%v after mixed recovery", servers[2].State(), servers[3].State())
+	}
+	if in.Reverted() != 1 {
+		t.Fatalf("reverted %d, want 1", in.Reverted())
+	}
+}
+
+func TestCapacityDipNotifiesAndCoalesces(t *testing.T) {
+	e := sim.NewEngine(1)
+	in := NewInjector(e)
+	log := collect(in)
+	if err := in.Arm([]Event{
+		{Kind: CapacityDip, At: time.Minute, Duration: 10 * time.Minute, Frac: 0.7},
+		{Kind: CapacityDip, At: 5 * time.Minute, Duration: time.Hour, Frac: 0.3}, // overlaps: coalesced
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.ScheduleAt(6*time.Minute, func(*sim.Engine) {
+		if in.ActiveDip() != 0.7 {
+			t.Errorf("active dip %v mid-event, want 0.7", in.ActiveDip())
+		}
+	})
+	if err := e.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if in.ActiveDip() != 0 {
+		t.Errorf("dip %v still active after revert", in.ActiveDip())
+	}
+	if in.Count(CapacityDip) != 1 || in.Reverted() != 1 {
+		t.Errorf("overlapping dips must coalesce: injected %d reverted %d", in.Count(CapacityDip), in.Reverted())
+	}
+	if len(*log) != 2 || (*log)[0].Frac != 0.7 || (*log)[1].Frac != 0.7 || (*log)[1].Start {
+		t.Errorf("want start+end notices carrying Frac 0.7, got %v", *log)
+	}
+}
+
+func TestDomainAndDipArmValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	in := NewInjector(e)
+	if err := in.WireDomains([][]int{{0}}); err == nil {
+		t.Error("WireDomains without servers accepted")
+	}
+	in.WireServers([]*server.Server{server.MustNew(server.DefaultConfig())})
+	if err := in.WireDomains([][]int{{}}); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if err := in.WireDomains([][]int{{0, 7}}); err == nil {
+		t.Error("out-of-range domain index accepted")
+	}
+	if err := in.Arm([]Event{{Kind: RackFailure, At: time.Minute, Index: 0}}); err == nil {
+		t.Error("rack failure without WireDomains accepted")
+	}
+	if err := in.WireDomains([][]int{{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Arm([]Event{{Kind: RackFailure, At: time.Minute, Index: 3}}); err == nil {
+		t.Error("domain index out of range accepted")
+	}
+	if err := in.Arm([]Event{{Kind: CapacityDip, At: time.Minute, Frac: 0}}); err == nil {
+		t.Error("zero dip fraction accepted")
+	}
+	if err := in.Arm([]Event{{Kind: CapacityDip, At: time.Minute, Frac: 1.5}}); err == nil {
+		t.Error("dip fraction above 1 accepted")
+	}
+}
+
+func TestGenerateScheduleNewClassesPreserveStream(t *testing.T) {
+	base := ScheduleConfig{
+		Horizon:     12 * time.Hour,
+		OutageEvery: 6 * time.Hour, OutageFor: 20 * time.Minute,
+		CRACEvery: 4 * time.Hour, CRACFor: time.Hour,
+		CrashEvery: 2 * time.Hour, CrashFor: 30 * time.Minute,
+		SensorEvery: 3 * time.Hour, SensorFor: time.Hour,
+		CRACs: 2, Servers: 8, Sensors: 4,
+	}
+	orig, err := GenerateSchedule(sim.NewRNG(42), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := base
+	ext.RackEvery, ext.RackFor, ext.Racks = 4*time.Hour, 30*time.Minute, 2
+	ext.DipEvery, ext.DipFor, ext.DipFrac = 5*time.Hour, 10*time.Minute, 0.6
+	got, err := GenerateSchedule(sim.NewRNG(42), ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var racks, dips int
+	var legacy []Event
+	for _, ev := range got {
+		switch ev.Kind {
+		case RackFailure:
+			racks++
+			if ev.Index < 0 || ev.Index >= 2 {
+				t.Fatalf("rack index %d out of range", ev.Index)
+			}
+		case CapacityDip:
+			dips++
+			if ev.Frac != 0.6 {
+				t.Fatalf("dip frac %v, want 0.6", ev.Frac)
+			}
+		default:
+			legacy = append(legacy, ev)
+		}
+	}
+	if racks == 0 || dips == 0 {
+		t.Fatalf("expected rack (%d) and dip (%d) events at these rates", racks, dips)
+	}
+	// The new classes draw after the original ones, so the legacy events
+	// of an extended schedule are byte-identical to the original run.
+	if len(legacy) != len(orig) {
+		t.Fatalf("legacy events %d vs original %d", len(legacy), len(orig))
+	}
+	for i := range orig {
+		if legacy[i] != orig[i] {
+			t.Fatalf("event %d perturbed by new classes: %+v vs %+v", i, legacy[i], orig[i])
+		}
+	}
+	if _, err := GenerateSchedule(sim.NewRNG(1), ScheduleConfig{
+		Horizon: time.Hour, DipEvery: time.Minute, DipFor: time.Minute, DipFrac: 2,
+	}); err == nil {
+		t.Error("dip fraction above 1 accepted by generator")
+	}
+}

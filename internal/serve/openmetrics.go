@@ -191,6 +191,30 @@ func writeMetrics(buf *bytes.Buffer, snap Snapshot, scrapes uint64) {
 		for i := range u.Classes {
 			w.sample("dcsim_slo_miss_ratio", u.Classes[i].SLOMissRate, "class", u.Classes[i].Class)
 		}
+		if rt := u.Retry; rt != nil {
+			w.family("dcsim_fresh_users", "counter", "", "Cumulative first (non-retry) user arrivals into the closed loop.")
+			w.sample("dcsim_fresh_users_total", rt.FreshTotal)
+			w.family("dcsim_retried_users", "counter", "", "Cumulative retry re-presentations of turned-away users.")
+			w.sample("dcsim_retried_users_total", rt.RetriedTotal)
+			w.family("dcsim_abandoned_users", "counter", "", "Cumulative users who exhausted their retry attempts and gave up.")
+			w.sample("dcsim_abandoned_users_total", rt.AbandonedTotal)
+			w.family("dcsim_goodput_users", "counter", "", "Cumulative users that completed service (admitted net of SLO re-entries).")
+			w.sample("dcsim_goodput_users_total", rt.GoodputTotal)
+			w.family("dcsim_in_retry_users", "gauge", "", "Users currently parked in retry backoff.")
+			w.sample("dcsim_in_retry_users", rt.InRetry)
+			w.family("dcsim_retry_amplification", "gauge", "", "Cumulative attempts over fresh arrivals (1 = no retry inflation).")
+			w.sample("dcsim_retry_amplification", rt.Amplification)
+			w.family("dcsim_breaker_state", "gauge", "", "Admission circuit breaker state (1 on the active state).")
+			for _, state := range []string{"closed", "open", "half-open"} {
+				v := 0.0
+				if rt.BreakerState == state {
+					v = 1
+				}
+				w.sample("dcsim_breaker_state", v, "state", state)
+			}
+			w.family("dcsim_breaker_trips", "counter", "", "Circuit-breaker closed-to-open transitions.")
+			w.sample("dcsim_breaker_trips_total", float64(rt.BreakerTrips))
+		}
 	}
 
 	if d := snap.Degrader; d != nil {

@@ -37,6 +37,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -69,6 +70,11 @@ type Source struct {
 	// rejection, degradation, per-class SLO misses). When nil, the
 	// Manager's admission controller (if any) is used.
 	Admission *workload.Admission
+	// Retry, when set, adds closed-loop retry metrics (retried and
+	// abandoned users, goodput, amplification, breaker state). When
+	// nil, the Manager's retry loop (if any) is used; its wrapped
+	// admission controller also backs the user-outcome view.
+	Retry *workload.RetryLoop
 }
 
 // Options tunes the pacer and the exposition.
@@ -281,6 +287,23 @@ func (s *Server) Snapshot() Snapshot {
 	snap := s.snapshotLocked()
 	snap.Seq = s.seq.Load()
 	return snap
+}
+
+// Shutdown ends the SSE side of the server gracefully: every connected
+// stream receives one final "shutdown" event carrying the closing
+// snapshot, then its channel is closed so the handler drains and
+// returns. Scrape and snapshot endpoints keep answering until the HTTP
+// server itself stops; call this before http.Server.Shutdown so stream
+// handlers exit inside its drain window. Safe to call more than once.
+func (s *Server) Shutdown() {
+	snap := s.Snapshot()
+	var final []byte
+	if data, err := json.Marshal(snap); err == nil {
+		var frame bytes.Buffer
+		fmt.Fprintf(&frame, "id: %d\nevent: shutdown\ndata: %s\n\n", snap.Seq, data)
+		final = frame.Bytes()
+	}
+	s.sse.shutdown(final)
 }
 
 // Handler returns the HTTP mux: /metrics (OpenMetrics), /api/v1/snapshot

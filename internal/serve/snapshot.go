@@ -79,8 +79,32 @@ type UsersSnapshot struct {
 	// ShedLevel the current user-facing shedding ladder level.
 	FairShareQ float64 `json:"fair_share_q"`
 	ShedLevel  int     `json:"shed_level"`
+	// Retry reports the closed retry loop when one is wired.
+	Retry *RetrySnapshot `json:"retry,omitempty"`
 	// Classes carries per-class accounting and SLO-miss rates.
 	Classes []UserClassSnapshot `json:"classes"`
+}
+
+// RetrySnapshot is the closed-loop (client retry) slice of the user
+// view: how rejection feedback is amplifying load and what the
+// admission-side circuit breaker is doing about it.
+type RetrySnapshot struct {
+	// FreshTotal counts first arrivals; RetriedTotal retry
+	// re-presentations; AbandonedTotal users who exhausted their
+	// attempts; GoodputTotal users that completed service.
+	FreshTotal     float64 `json:"fresh_total"`
+	RetriedTotal   float64 `json:"retried_total"`
+	AbandonedTotal float64 `json:"abandoned_total"`
+	GoodputTotal   float64 `json:"goodput_total"`
+	// InRetry is users currently parked in retry backoff.
+	InRetry float64 `json:"in_retry"`
+	// Amplification is cumulative attempts over fresh arrivals (1 = no
+	// retry inflation).
+	Amplification float64 `json:"retry_amplification"`
+	// BreakerState is "closed", "open", or "half-open"; BreakerTrips
+	// counts closed-to-open transitions.
+	BreakerState string `json:"breaker_state"`
+	BreakerTrips int64  `json:"breaker_trips"`
 }
 
 // UserClassSnapshot is one service class's user accounting.
@@ -188,9 +212,16 @@ func (s *Server) snapshotLocked() Snapshot {
 			DarkRounds:    d.Telemetry().DarkRounds(),
 		}
 	}
+	rl := s.src.Retry
+	if rl == nil && s.src.Manager != nil {
+		rl = s.src.Manager.Retry()
+	}
 	adm := s.src.Admission
 	if adm == nil && s.src.Manager != nil {
 		adm = s.src.Manager.Admission()
+	}
+	if adm == nil && rl != nil {
+		adm = rl.Admission()
 	}
 	if adm != nil {
 		u := &UsersSnapshot{
@@ -202,6 +233,18 @@ func (s *Server) snapshotLocked() Snapshot {
 			FairShareQ:      adm.Q(),
 			ShedLevel:       adm.ShedLevel(),
 			Classes:         make([]UserClassSnapshot, workload.NumClasses),
+		}
+		if rl != nil {
+			u.Retry = &RetrySnapshot{
+				FreshTotal:     rl.FreshUsers(),
+				RetriedTotal:   rl.RetriedUsers(),
+				AbandonedTotal: rl.AbandonedUsers(),
+				GoodputTotal:   rl.GoodputUsers(),
+				InRetry:        rl.InRetryTotal(),
+				Amplification:  rl.RetryAmplification(),
+				BreakerState:   rl.State().String(),
+				BreakerTrips:   rl.Trips(),
+			}
 		}
 		for c := 0; c < workload.NumClasses; c++ {
 			cl := workload.Class(c)

@@ -15,8 +15,9 @@ import (
 // are marshalled once per publish and delivered to every subscriber in
 // publish order.
 type broadcaster struct {
-	mu   sync.Mutex
-	subs map[chan []byte]struct{}
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
 }
 
 func newBroadcaster() *broadcaster {
@@ -26,7 +27,11 @@ func newBroadcaster() *broadcaster {
 func (b *broadcaster) subscribe() chan []byte {
 	ch := make(chan []byte, 16)
 	b.mu.Lock()
-	b.subs[ch] = struct{}{}
+	if b.closed {
+		close(ch) // late subscriber during shutdown: stream ends at once
+	} else {
+		b.subs[ch] = struct{}{}
+	}
 	b.mu.Unlock()
 	return ch
 }
@@ -35,6 +40,28 @@ func (b *broadcaster) unsubscribe(ch chan []byte) {
 	b.mu.Lock()
 	delete(b.subs, ch)
 	b.mu.Unlock()
+}
+
+// shutdown delivers one final frame to every subscriber (best-effort,
+// never blocking) and closes their channels so streaming handlers
+// drain and return. Publish and subscribe become no-ops afterwards.
+func (b *broadcaster) shutdown(final []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		if final != nil {
+			select {
+			case ch <- final:
+			default: // slow subscriber: it still sees the close
+			}
+		}
+		close(ch)
+		delete(b.subs, ch)
+	}
 }
 
 // publish renders the snapshot as one SSE frame and offers it to every
@@ -50,6 +77,10 @@ func (b *broadcaster) publish(snap Snapshot) {
 	fmt.Fprintf(&frame, "id: %d\nevent: snapshot\ndata: %s\n\n", snap.Seq, data)
 	payload := frame.Bytes()
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
 	for ch := range b.subs {
 		select {
 		case ch <- payload:
@@ -87,7 +118,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case frame := <-ch:
+		case frame, ok := <-ch:
+			if !ok {
+				return // server shutdown: final frame already delivered
+			}
 			if _, err := w.Write(frame); err != nil {
 				return
 			}

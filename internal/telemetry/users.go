@@ -16,6 +16,13 @@ const (
 	KeyDegradedUsers = "users.degraded"
 	KeyDeferredUsers = "users.deferred"
 	KeyFairShareQ    = "users.fair_share_q"
+
+	// Closed-loop retry series, recorded only when the run wires a
+	// retry loop (EnableRetrySeries).
+	KeyRetriedUsers = "users.retried"
+	KeyGoodputUsers = "users.goodput"
+	KeyRetryAmplif  = "users.retry_amplification"
+	KeyBreakerState = "users.breaker_state"
 )
 
 // UserOutcome is one admission tick's user-visible accounting, ready
@@ -27,6 +34,11 @@ type UserOutcome struct {
 	Offered, Admitted, Rejected, Degraded, Deferred float64
 	// Q is the fair share granted this tick.
 	Q float64
+	// Retried, Goodput, Amplification, and BreakerState describe the
+	// closed retry loop for the tick; they are recorded only when the
+	// recorder has retry series enabled. BreakerState is the numeric
+	// circuit-breaker state (0 closed, 1 open, 2 half-open).
+	Retried, Goodput, Amplification, BreakerState float64
 	// SLOMiss holds one 0/1 flag per class, in the recorder's class
 	// order. Length must match the recorder's classes.
 	SLOMiss []float64
@@ -38,6 +50,8 @@ type UserOutcome struct {
 type OutcomeRecorder struct {
 	offered, admitted, rejected *Appender
 	degraded, deferred, q       *Appender
+	retried, goodput            *Appender
+	amplif, breaker             *Appender
 	slo                         []*Appender
 	classes                     []string
 }
@@ -72,6 +86,22 @@ func NewOutcomeRecorder(s *Store, classes []string) (*OutcomeRecorder, error) {
 // Classes reports the class order SLOMiss samples must arrive in.
 func (r *OutcomeRecorder) Classes() []string { return r.classes }
 
+// EnableRetrySeries resolves the closed-loop retry series on the store
+// so subsequent Record calls also append Retried, Goodput,
+// Amplification, and BreakerState. Call once, before recording, on runs
+// that drive a retry loop; plain admission runs skip the four series
+// entirely.
+func (r *OutcomeRecorder) EnableRetrySeries(s *Store) error {
+	if s == nil {
+		return fmt.Errorf("telemetry: nil store")
+	}
+	r.retried = s.Appender(KeyRetriedUsers)
+	r.goodput = s.Appender(KeyGoodputUsers)
+	r.amplif = s.Appender(KeyRetryAmplif)
+	r.breaker = s.Appender(KeyBreakerState)
+	return nil
+}
+
 // Record appends one tick's outcome at time t.
 func (r *OutcomeRecorder) Record(t time.Duration, o UserOutcome) error {
 	if len(o.SLOMiss) != len(r.slo) {
@@ -88,7 +118,14 @@ func (r *OutcomeRecorder) Record(t time.Duration, o UserOutcome) error {
 		{r.degraded, o.Degraded},
 		{r.deferred, o.Deferred},
 		{r.q, o.Q},
+		{r.retried, o.Retried},
+		{r.goodput, o.Goodput},
+		{r.amplif, o.Amplification},
+		{r.breaker, o.BreakerState},
 	} {
+		if step.app == nil {
+			continue // retry series not enabled for this run
+		}
 		if err := step.app.Append(t, step.v); err != nil {
 			return err
 		}

@@ -75,3 +75,57 @@ func TestOutcomeRecorderValidation(t *testing.T) {
 		t.Error("SLO flag count mismatch should error")
 	}
 }
+
+func TestOutcomeRecorderRetrySeries(t *testing.T) {
+	s, err := NewStore(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewOutcomeRecorder(s, []string{"interactive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before enabling, retry fields are silently dropped.
+	if err := r.Record(0, UserOutcome{Retried: 50, SLOMiss: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(KeyRetriedUsers, 0, 1<<62, ResRaw); err == nil {
+		t.Error("retried series exists before EnableRetrySeries")
+	}
+	if err := r.EnableRetrySeries(nil); err == nil {
+		t.Error("EnableRetrySeries(nil) should error")
+	}
+	if err := r.EnableRetrySeries(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		err := r.Record(time.Duration(i)*time.Minute, UserOutcome{
+			Retried: 50, Goodput: 900, Amplification: 1.25, BreakerState: 1,
+			SLOMiss: []float64{0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range []struct {
+		key  string
+		want float64
+	}{
+		{KeyRetriedUsers, 200},
+		{KeyGoodputUsers, 3600},
+		{KeyRetryAmplif, 5},
+		{KeyBreakerState, 4},
+	} {
+		bs, err := s.Query(tc.key, 0, 1<<62, ResRaw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, b := range bs {
+			total += b.Sum
+		}
+		if total != tc.want {
+			t.Errorf("%s sum = %v, want %v", tc.key, total, tc.want)
+		}
+	}
+}

@@ -32,18 +32,19 @@ func DefaultAdmissionConfig() AdmissionConfig {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration, collecting every violation —
+// across all classes and the controller's own knobs — into one
+// aggregated error in the cmd/dcsim flag-validation style, instead of
+// stopping at the first problem.
 func (c AdmissionConfig) Validate() error {
-	if err := c.Classes.Validate(); err != nil {
-		return err
+	problems := c.Classes.problems(nil)
+	if c.Qmin <= 0 || c.Qmin > 1 || math.IsNaN(c.Qmin) {
+		problems = append(problems, fmt.Sprintf("Qmin %v out of (0,1]", c.Qmin))
 	}
-	if c.Qmin <= 0 || c.Qmin > 1 {
-		return fmt.Errorf("workload: Qmin %v out of (0,1]", c.Qmin)
+	if c.MaxBacklog < 0 || math.IsNaN(c.MaxBacklog) {
+		problems = append(problems, fmt.Sprintf("max backlog %v must be non-negative", c.MaxBacklog))
 	}
-	if c.MaxBacklog < 0 {
-		return fmt.Errorf("workload: max backlog %v must be non-negative", c.MaxBacklog)
-	}
-	return nil
+	return problemsErr("invalid admission config", problems)
 }
 
 // classMode is what the shedding ladder currently does to a class.

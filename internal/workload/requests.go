@@ -13,6 +13,8 @@ package workload
 
 import (
 	"fmt"
+	"math"
+	"strings"
 	"time"
 )
 
@@ -72,18 +74,25 @@ type ClassConfig struct {
 	DegradeCost float64
 }
 
-// Validate checks one class configuration.
-func (c ClassConfig) Validate() error {
+// problems appends every violation in this class config to dst, each
+// prefixed for attribution in an aggregated error.
+func (c ClassConfig) problems(prefix string, dst []string) []string {
 	if c.ServiceTime <= 0 {
-		return fmt.Errorf("workload: class service time %v must be positive", c.ServiceTime)
+		dst = append(dst, fmt.Sprintf("%sservice time %v must be positive", prefix, c.ServiceTime))
 	}
 	if c.SLOWait < 0 {
-		return fmt.Errorf("workload: class SLO wait %v must be non-negative", c.SLOWait)
+		dst = append(dst, fmt.Sprintf("%sSLO wait %v must be non-negative", prefix, c.SLOWait))
 	}
-	if c.DegradeCost <= 0 || c.DegradeCost > 1 {
-		return fmt.Errorf("workload: degrade cost %v out of (0,1]", c.DegradeCost)
+	if c.DegradeCost <= 0 || c.DegradeCost > 1 || math.IsNaN(c.DegradeCost) {
+		dst = append(dst, fmt.Sprintf("%sdegrade cost %v out of (0,1]", prefix, c.DegradeCost))
 	}
-	return nil
+	return dst
+}
+
+// Validate checks one class configuration, reporting every violation in
+// one aggregated error.
+func (c ClassConfig) Validate() error {
+	return problemsErr("invalid class config", c.problems("", nil))
 }
 
 // RequestClasses is the per-class configuration table.
@@ -113,14 +122,18 @@ func DefaultRequestClasses() RequestClasses {
 	}
 }
 
-// Validate checks every class.
-func (r RequestClasses) Validate() error {
+// problems appends every violation across all classes to dst.
+func (r RequestClasses) problems(dst []string) []string {
 	for c := 0; c < NumClasses; c++ {
-		if err := r[c].Validate(); err != nil {
-			return fmt.Errorf("%s: %w", Class(c), err)
-		}
+		dst = r[c].problems(fmt.Sprintf("%s: ", Class(c)), dst)
 	}
-	return nil
+	return dst
+}
+
+// Validate checks every class, reporting every violation across all
+// classes in one aggregated error.
+func (r RequestClasses) Validate() error {
+	return problemsErr("invalid request classes", r.problems(nil))
 }
 
 // ClassMix splits an aggregate arrival series into per-class shares. The
@@ -135,19 +148,30 @@ func DefaultClassMix() ClassMix {
 	return ClassMix{ClassInteractive: 0.6, ClassBatch: 0.25, ClassBackground: 0.15}
 }
 
-// Validate checks the mix: non-negative shares with a positive sum.
+// Validate checks the mix — non-negative shares with a positive sum —
+// reporting every violation in one aggregated error.
 func (m ClassMix) Validate() error {
+	var problems []string
 	var sum float64
 	for c, s := range m {
-		if s < 0 {
-			return fmt.Errorf("workload: class %s share %v must be non-negative", Class(c), s)
+		if s < 0 || math.IsNaN(s) {
+			problems = append(problems, fmt.Sprintf("class %s share %v must be non-negative", Class(c), s))
 		}
 		sum += s
 	}
-	if sum <= 0 {
-		return fmt.Errorf("workload: class mix shares sum to %v, need > 0", sum)
+	if !(sum > 0) {
+		problems = append(problems, fmt.Sprintf("class mix shares sum to %v, need > 0", sum))
 	}
-	return nil
+	return problemsErr("invalid class mix", problems)
+}
+
+// problemsErr folds collected violations into one aggregated error in
+// the cmd/dcsim flag-validation style, or nil when the list is empty.
+func problemsErr(what string, problems []string) error {
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("workload: %s:\n  - %s", what, strings.Join(problems, "\n  - "))
 }
 
 // Split divides an aggregate user count over the classes proportionally

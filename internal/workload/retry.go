@@ -1,0 +1,825 @@
+// Closed-loop retry model: turned-away users come back. The admission
+// controller in this package is open-loop — a rejected user vanishes.
+// Real clients retry, and retries are what turn a brief capacity dip
+// into a metastable overload: rejections breed retries, retries inflate
+// offered load, the extra load breeds more rejections, and the system
+// stays saturated long after the trigger clears (each turned-away
+// attempt still burns a slice of capacity on connection setup, queueing,
+// and error handling — the feedback that sustains the storm).
+//
+// RetryLoop wraps an Admission with:
+//
+//   - a per-class retry queue (fixed ring indexed by release tick, so a
+//     tick stays O(classes·attempts) and allocation-free like
+//     Admission.Tick);
+//   - three client policies: naive immediate retry, capped exponential
+//     backoff with deterministic jitter from a seed-forked RNG, and a
+//     retry budget (token bucket) that throttles the retry *rate*;
+//   - an admission-side circuit breaker (closed/open/half-open on
+//     windowed rejection rate) whose open state fast-fails arrivals at
+//     near-zero capacity cost, with recovery hysteresis: the pool must
+//     stay healthy for RecoverTicks consecutive probe ticks before the
+//     breaker closes and protective shedding releases.
+//
+// Conservation extends the admission identity: per tick,
+//
+//	fresh + retried + replayed == admitted + abandoned + to_retry + deferred
+//
+// and cumulatively every fresh arrival is completed (admitted and not
+// re-queued by an SLO miss), abandoned (out of attempts or overflow), or
+// still in flight (retry queue or deferral backlog). CheckInvariants
+// asserts the cumulative form after every engine event when armed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RetryPolicy selects how turned-away users come back.
+type RetryPolicy int
+
+const (
+	// RetryNaive retries every turned-away user on the very next tick —
+	// the storm-prone client the paper's flash-crowd scenarios imply.
+	RetryNaive RetryPolicy = iota
+	// RetryBackoff spaces retries by capped exponential backoff
+	// (BaseDelay·2^(n-1) up to MaxDelay) with deterministic jitter.
+	RetryBackoff
+	// RetryBudget is backoff plus a per-class token bucket: tokens
+	// accrue at BudgetRatio per fresh arrival, and a retry only attempts
+	// when a token covers it — the uncovered portion waits a full
+	// MaxDelay instead of hammering the pool. The budget throttles the
+	// retry rate; it never drops users by itself.
+	RetryBudget
+)
+
+// String renders the policy name.
+func (p RetryPolicy) String() string {
+	switch p {
+	case RetryNaive:
+		return "naive"
+	case RetryBackoff:
+		return "backoff"
+	case RetryBudget:
+		return "budget"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// BreakerState is the admission-side circuit breaker's state.
+type BreakerState int
+
+const (
+	// BreakerClosed passes arrivals through to the pool.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fast-fails every arrival at FastFailCostFrac — much
+	// cheaper than rejecting them out of the pool — for OpenTicks.
+	BreakerOpen
+	// BreakerHalfOpen admits a ProbeFrac slice to test the water;
+	// RecoverTicks consecutive healthy probes close the breaker, one
+	// bad probe re-opens it (recovery hysteresis).
+	BreakerHalfOpen
+)
+
+// String renders the breaker state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breaker(%d)", int(s))
+	}
+}
+
+// Compile-time bounds that keep the retry queue a fixed-size ring (no
+// allocation on any tick path).
+const (
+	// MaxRetryAttempts bounds RetryConfig.MaxAttempts: how many times
+	// one user can be turned away before abandoning for good.
+	MaxRetryAttempts = 8
+	// retryRingTicks is the retry ring size in ticks; backoff delays
+	// saturate at retryRingTicks-1 ticks.
+	retryRingTicks = 512
+	// maxBreakerWindow bounds BreakerConfig.Window.
+	maxBreakerWindow = 128
+)
+
+// BreakerConfig parameterizes the admission-side circuit breaker.
+type BreakerConfig struct {
+	// Enabled turns the breaker on.
+	Enabled bool
+	// Window is the rejection-rate window in ticks, in [1,128].
+	Window int
+	// TripRatio opens the breaker when the windowed fraction of
+	// turned-away arrivals reaches it. In (0,1].
+	TripRatio float64
+	// MinVolume is the minimum windowed arrival mass before the ratio
+	// is meaningful (no tripping on noise at idle).
+	MinVolume float64
+	// OpenTicks is how long the breaker holds open before probing.
+	OpenTicks int
+	// ProbeFrac is the arrival fraction admitted while half-open.
+	// In (0,1].
+	ProbeFrac float64
+	// RecoverTicks is the recovery hysteresis: consecutive healthy
+	// half-open ticks (pool rejection ratio at most TripRatio/2)
+	// required before the breaker closes.
+	RecoverTicks int
+}
+
+// DefaultBreakerConfig trips at 50 % rejections over a 10-tick window,
+// holds open 10 ticks, and needs 5 clean probe ticks to close.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Enabled:      true,
+		Window:       10,
+		TripRatio:    0.5,
+		MinVolume:    1,
+		OpenTicks:    10,
+		ProbeFrac:    0.1,
+		RecoverTicks: 5,
+	}
+}
+
+// RetryConfig parameterizes the closed retry loop around an Admission.
+type RetryConfig struct {
+	// Policy selects the client retry behaviour.
+	Policy RetryPolicy
+	// MaxAttempts is how many times a user retries after being turned
+	// away before abandoning, in [1, MaxRetryAttempts].
+	MaxAttempts int
+	// BaseDelay is the first backoff delay; MaxDelay caps the
+	// exponential growth. Ignored by RetryNaive (always next tick).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterFrac spreads each backoff delay uniformly over
+	// [1-J, 1+J]·delay using the loop's forked RNG. In [0,1).
+	JitterFrac float64
+	// BudgetRatio is retry tokens earned per fresh arrival and
+	// BudgetBurst the per-class bucket cap, both in users
+	// (RetryBudget only).
+	BudgetRatio float64
+	BudgetBurst float64
+	// SLORetryFrac is the fraction of admitted users in a tick that
+	// missed the class SLO who retry anyway (timeouts re-sent). Their
+	// first service was still paid for; goodput excludes them.
+	SLORetryFrac float64
+	// RejectCostFrac is the slice of a nominal service time one
+	// pool-rejected attempt still burns (connection setup, queueing,
+	// error path). This wasted work reduces the *next* tick's capacity
+	// — the feedback that makes naive retries metastable.
+	RejectCostFrac float64
+	// FastFailCostFrac is the same cost for a breaker fast-fail; the
+	// point of the breaker is that this is nearly free.
+	FastFailCostFrac float64
+	// MaxInRetry caps each class's queued retries in users; overflow
+	// abandons so the queue cannot grow without bound.
+	MaxInRetry float64
+	// Breaker configures the admission-side circuit breaker.
+	Breaker BreakerConfig
+}
+
+// DefaultRetryConfig is a typical client population under the given
+// policy: up to 4 retries, 30 s base / 5 min cap backoff with 20 %
+// jitter, a 10 % retry budget, and a quarter service time burned per
+// turned-away attempt. The breaker ships disabled; enable it with
+// DefaultBreakerConfig.
+func DefaultRetryConfig(policy RetryPolicy) RetryConfig {
+	return RetryConfig{
+		Policy:           policy,
+		MaxAttempts:      4,
+		BaseDelay:        30 * time.Second,
+		MaxDelay:         5 * time.Minute,
+		JitterFrac:       0.2,
+		BudgetRatio:      0.1,
+		BudgetBurst:      1e4,
+		SLORetryFrac:     0.05,
+		RejectCostFrac:   0.25,
+		FastFailCostFrac: 0.02,
+		MaxInRetry:       1e7,
+	}
+}
+
+// Validate checks the configuration, collecting every violation into
+// one aggregated error (matching the cmd/dcsim flag-validation style)
+// so a config with three problems surfaces all three at once.
+func (c RetryConfig) Validate() error {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	switch c.Policy {
+	case RetryNaive, RetryBackoff, RetryBudget:
+	default:
+		bad("unknown retry policy %v", c.Policy)
+	}
+	if c.MaxAttempts < 1 || c.MaxAttempts > MaxRetryAttempts {
+		bad("max attempts %d out of [1,%d]", c.MaxAttempts, MaxRetryAttempts)
+	}
+	if c.Policy != RetryNaive {
+		if c.BaseDelay <= 0 {
+			bad("base delay %v must be positive", c.BaseDelay)
+		}
+		if c.MaxDelay < c.BaseDelay {
+			bad("max delay %v must be at least base delay %v", c.MaxDelay, c.BaseDelay)
+		}
+	}
+	if c.JitterFrac < 0 || c.JitterFrac >= 1 || math.IsNaN(c.JitterFrac) {
+		bad("jitter fraction %v out of [0,1)", c.JitterFrac)
+	}
+	if c.Policy == RetryBudget {
+		if c.BudgetRatio <= 0 || math.IsNaN(c.BudgetRatio) {
+			bad("budget ratio %v must be positive", c.BudgetRatio)
+		}
+		if c.BudgetBurst <= 0 || math.IsNaN(c.BudgetBurst) {
+			bad("budget burst %v must be positive", c.BudgetBurst)
+		}
+	}
+	if c.SLORetryFrac < 0 || c.SLORetryFrac > 1 || math.IsNaN(c.SLORetryFrac) {
+		bad("SLO retry fraction %v out of [0,1]", c.SLORetryFrac)
+	}
+	if c.RejectCostFrac < 0 || c.RejectCostFrac > 1 || math.IsNaN(c.RejectCostFrac) {
+		bad("reject cost fraction %v out of [0,1]", c.RejectCostFrac)
+	}
+	if c.FastFailCostFrac < 0 || c.FastFailCostFrac > 1 || math.IsNaN(c.FastFailCostFrac) {
+		bad("fast-fail cost fraction %v out of [0,1]", c.FastFailCostFrac)
+	}
+	if c.MaxInRetry <= 0 || math.IsNaN(c.MaxInRetry) {
+		bad("retry queue cap %v must be positive", c.MaxInRetry)
+	}
+	if b := c.Breaker; b.Enabled {
+		if b.Window < 1 || b.Window > maxBreakerWindow {
+			bad("breaker window %d out of [1,%d]", b.Window, maxBreakerWindow)
+		}
+		if b.TripRatio <= 0 || b.TripRatio > 1 || math.IsNaN(b.TripRatio) {
+			bad("breaker trip ratio %v out of (0,1]", b.TripRatio)
+		}
+		if b.MinVolume < 0 || math.IsNaN(b.MinVolume) {
+			bad("breaker min volume %v must be non-negative", b.MinVolume)
+		}
+		if b.OpenTicks < 1 {
+			bad("breaker open ticks %d must be at least 1", b.OpenTicks)
+		}
+		if b.ProbeFrac <= 0 || b.ProbeFrac > 1 || math.IsNaN(b.ProbeFrac) {
+			bad("breaker probe fraction %v out of (0,1]", b.ProbeFrac)
+		}
+		if b.RecoverTicks < 1 {
+			bad("breaker recover ticks %d must be at least 1", b.RecoverTicks)
+		}
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("workload: invalid retry config:\n  - %s", strings.Join(problems, "\n  - "))
+}
+
+// RetryOutcome is one closed-loop tick's user-visible result. Like
+// TickOutcome, all fields are value arrays so the tick allocates
+// nothing.
+type RetryOutcome struct {
+	// Pool is the inner admission tick over the gated arrivals (fresh +
+	// due retries that passed the breaker, plus replayed backlog).
+	Pool TickOutcome
+	// Fresh is the sanitized external arrivals; Retried the due retry
+	// re-arrivals that attempted this tick.
+	Fresh   [NumClasses]float64
+	Retried [NumClasses]float64
+	// FastFailed counts arrivals the open/half-open breaker turned away
+	// before they reached the pool.
+	FastFailed [NumClasses]float64
+	// ToRetry counts users entering the retry queue this tick;
+	// Abandoned counts users giving up (out of attempts, or queue
+	// overflow). SLORetried is the admitted-but-timed-out slice that
+	// re-queued anyway.
+	ToRetry    [NumClasses]float64
+	Abandoned  [NumClasses]float64
+	SLORetried [NumClasses]float64
+	// GoodputUsers is admitted minus SLO-retried: users whose request
+	// actually completed this tick.
+	GoodputUsers float64
+	// OfferedErl is the retry-inflated demand in server-equivalents —
+	// the pool demand plus what the breaker fast-failed — which is what
+	// capacity planning must see.
+	OfferedErl float64
+	// EffectiveCapacityErl is the capacity after subtracting the
+	// previous tick's reject-processing waste; WastedErl is that
+	// subtraction.
+	EffectiveCapacityErl float64
+	WastedErl            float64
+	// Breaker is the breaker state after this tick.
+	Breaker BreakerState
+}
+
+// RetryLoop closes the loop around an Admission. Like Admission it is
+// single-threaded and allocation-free per tick; all state is fixed-size
+// (the retry ring is retryRingTicks × NumClasses × MaxRetryAttempts
+// float64 cohorts indexed by release tick and times-turned-away).
+type RetryLoop struct {
+	cfg     RetryConfig
+	adm     *Admission
+	classes RequestClasses
+	rng     *sim.RNG
+
+	// ring[i][c][t-1] holds class-c users turned away t times, released
+	// when the cursor reaches i.
+	ring    [retryRingTicks][NumClasses][MaxRetryAttempts]float64
+	cursor  int
+	inRetry [NumClasses]float64
+	tokens  [NumClasses]float64
+
+	// pendingWaste is the capacity (erlangs) next tick loses to this
+	// tick's reject processing — lagged one tick to keep the tick
+	// acyclic and deterministic.
+	pendingWaste float64
+
+	state     BreakerState
+	openLeft  int
+	healthy   int
+	winArr    [maxBreakerWindow]float64
+	winRej    [maxBreakerWindow]float64
+	winSum    float64
+	winRejSum float64
+	winIdx    int
+	trips     int64
+
+	ticks         int64
+	freshTot      [NumClasses]float64
+	retriedTot    [NumClasses]float64
+	admittedTot   [NumClasses]float64
+	abandonedTot  [NumClasses]float64
+	sloRetriedTot [NumClasses]float64
+	goodputTot    float64
+}
+
+// NewRetryLoop wraps adm with a closed retry loop. rng seeds the
+// backoff jitter (fork it from the engine stream, e.g.
+// e.RNG().Fork("retry")); it may be nil only when JitterFrac is zero.
+func NewRetryLoop(cfg RetryConfig, adm *Admission, rng *sim.RNG) (*RetryLoop, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if adm == nil {
+		return nil, fmt.Errorf("workload: retry loop needs an admission controller")
+	}
+	if cfg.JitterFrac > 0 && rng == nil {
+		return nil, fmt.Errorf("workload: jitter fraction %v needs an RNG (pass one or set JitterFrac to 0)", cfg.JitterFrac)
+	}
+	return &RetryLoop{cfg: cfg, adm: adm, classes: adm.Config().Classes, rng: rng}, nil
+}
+
+// Admission exposes the wrapped pool controller.
+func (r *RetryLoop) Admission() *Admission { return r.adm }
+
+// Config reports the configuration.
+func (r *RetryLoop) Config() RetryConfig { return r.cfg }
+
+// Ticks reports how many closed-loop ticks have run.
+func (r *RetryLoop) Ticks() int64 { return r.ticks }
+
+// State reports the breaker state.
+func (r *RetryLoop) State() BreakerState { return r.state }
+
+// Trips reports how many times the breaker opened (windowed trips,
+// re-opens from a failed probe, and forced Trip calls).
+func (r *RetryLoop) Trips() int64 { return r.trips }
+
+// FreshUsers reports cumulative external arrivals across classes.
+func (r *RetryLoop) FreshUsers() float64 { return sumClasses(&r.freshTot) }
+
+// RetriedUsers reports cumulative retry re-arrivals across classes.
+func (r *RetryLoop) RetriedUsers() float64 { return sumClasses(&r.retriedTot) }
+
+// AbandonedUsers reports users that gave up for good.
+func (r *RetryLoop) AbandonedUsers() float64 { return sumClasses(&r.abandonedTot) }
+
+// GoodputUsers reports cumulative completed users (admitted and not
+// re-queued by an SLO miss).
+func (r *RetryLoop) GoodputUsers() float64 { return r.goodputTot }
+
+// InRetry reports one class's users currently waiting to retry.
+func (r *RetryLoop) InRetry(c Class) float64 { return r.inRetry[c] }
+
+// InRetryTotal reports all users currently waiting to retry.
+func (r *RetryLoop) InRetryTotal() float64 { return sumClasses(&r.inRetry) }
+
+// RetryAmplification is total attempts over fresh arrivals,
+// (fresh+retried)/fresh — 1.0 means nobody retried, 2.0 means the
+// average user hit the front door twice. 1 before any traffic.
+func (r *RetryLoop) RetryAmplification() float64 {
+	fresh := r.FreshUsers()
+	if fresh <= 0 {
+		return 1
+	}
+	return (fresh + r.RetriedUsers()) / fresh
+}
+
+// Trip forces the breaker open for a full OpenTicks — the degrader's
+// hook when an infrastructure fault (rack loss, capacity dip, UPS
+// depletion) makes a rejection wave certain before the window sees it.
+// No-op when the breaker is disabled.
+func (r *RetryLoop) Trip() {
+	if !r.cfg.Breaker.Enabled {
+		return
+	}
+	r.open()
+}
+
+// open moves the breaker to open and resets the rate window.
+func (r *RetryLoop) open() {
+	r.state = BreakerOpen
+	r.openLeft = r.cfg.Breaker.OpenTicks
+	r.trips++
+	r.resetWindow()
+}
+
+// close returns the breaker to closed with a fresh window.
+func (r *RetryLoop) close() {
+	r.state = BreakerClosed
+	r.healthy = 0
+	r.resetWindow()
+}
+
+func (r *RetryLoop) resetWindow() {
+	for i := range r.winArr {
+		r.winArr[i] = 0
+		r.winRej[i] = 0
+	}
+	r.winSum, r.winRejSum = 0, 0
+	r.winIdx = 0
+}
+
+// Tick runs one closed-loop decision period: release due retries, gate
+// arrivals through the breaker, tick the wrapped pool against the
+// waste-reduced capacity, and route everything turned away into the
+// retry queue or abandonment. Allocation-free; panics on dt <= 0 like
+// Admission.Tick.
+func (r *RetryLoop) Tick(dt time.Duration, fresh *[NumClasses]float64, capacityErl float64) RetryOutcome {
+	if dt <= 0 {
+		panic(fmt.Sprintf("workload: retry tick dt %v must be positive", dt))
+	}
+	if capacityErl < 0 || math.IsNaN(capacityErl) {
+		capacityErl = 0
+	}
+	if capacityErl > maxCapacityErl {
+		capacityErl = maxCapacityErl
+	}
+	dtSec := dt.Seconds()
+	var out RetryOutcome
+
+	// Sanitize fresh arrivals exactly like the pool will, so the loop's
+	// ledger and the pool's agree on what arrived.
+	var fr [NumClasses]float64
+	for c := 0; c < NumClasses; c++ {
+		f := fresh[c]
+		if f < 0 || math.IsNaN(f) {
+			f = 0
+		}
+		if f > maxUsersPerTick {
+			f = maxUsersPerTick
+		}
+		fr[c] = f
+		r.freshTot[c] += f
+	}
+	out.Fresh = fr
+
+	// Budget tokens accrue on fresh traffic only: retries never earn
+	// the right to more retries.
+	if r.cfg.Policy == RetryBudget {
+		for c := 0; c < NumClasses; c++ {
+			r.tokens[c] = math.Min(r.tokens[c]+fr[c]*r.cfg.BudgetRatio, r.cfg.BudgetBurst)
+		}
+	}
+
+	// Release the cohorts due this tick. Under the budget policy only
+	// the token-covered portion attempts now; the remainder re-queues a
+	// full MaxDelay later without burning an attempt.
+	slot := &r.ring[r.cursor]
+	var attempted [NumClasses][MaxRetryAttempts]float64
+	var retried [NumClasses]float64
+	for c := 0; c < NumClasses; c++ {
+		var due float64
+		for t := 0; t < MaxRetryAttempts; t++ {
+			due += slot[c][t]
+		}
+		if due <= 0 {
+			continue
+		}
+		attemptFrac := 1.0
+		if r.cfg.Policy == RetryBudget {
+			spend := math.Min(due, r.tokens[c])
+			r.tokens[c] -= spend
+			attemptFrac = spend / due
+		}
+		requeue := 0
+		if attemptFrac < 1 {
+			requeue = r.delayTicks(dt, r.cfg.MaxDelay)
+		}
+		for t := 0; t < MaxRetryAttempts; t++ {
+			amt := slot[c][t]
+			slot[c][t] = 0
+			if amt <= 0 {
+				continue
+			}
+			try := amt * attemptFrac
+			attempted[c][t] = try
+			retried[c] += try
+			r.inRetry[c] -= try
+			if stay := amt - try; stay > 0 {
+				r.ring[(r.cursor+requeue)%retryRingTicks][c][t] += stay
+			}
+		}
+		if r.inRetry[c] < 0 {
+			r.inRetry[c] = 0
+		}
+		r.retriedTot[c] += retried[c]
+	}
+	out.Retried = retried
+
+	// Capacity after last tick's reject-processing waste.
+	eff := capacityErl - r.pendingWaste
+	if eff < 0 {
+		eff = 0
+	}
+	out.EffectiveCapacityErl = eff
+	out.WastedErl = capacityErl - eff
+
+	// Breaker gate: open fast-fails everything, half-open probes a
+	// slice, closed passes all.
+	gate := 1.0
+	if r.cfg.Breaker.Enabled {
+		switch r.state {
+		case BreakerOpen:
+			gate = 0
+		case BreakerHalfOpen:
+			gate = r.cfg.Breaker.ProbeFrac
+		}
+	}
+	var handed, fastFailed [NumClasses]float64
+	for c := 0; c < NumClasses; c++ {
+		arr := fr[c] + retried[c]
+		handed[c] = arr * gate
+		fastFailed[c] = arr - handed[c]
+	}
+	out.FastFailed = fastFailed
+
+	// The pool tick. Its deferral backlog replays inside; read it first
+	// so turned-away mass can be computed by exact conservation.
+	var replay [NumClasses]float64
+	for c := 0; c < NumClasses; c++ {
+		replay[c] = r.adm.Backlog(Class(c))
+	}
+	out.Pool = r.adm.Tick(dt, &handed, eff)
+
+	// Everything that arrived and neither landed in service nor in the
+	// deferral backlog was turned away — pool rejections, breaker
+	// fast-fails, and any mass the pool's hostile-input clamps dropped.
+	var turnedAway [NumClasses]float64
+	for c := 0; c < NumClasses; c++ {
+		ta := fr[c] + retried[c] + replay[c] - out.Pool.Admitted[c] - out.Pool.Deferred[c]
+		if ta < 0 {
+			ta = 0
+		}
+		turnedAway[c] = ta
+	}
+
+	// Admitted-but-late users that retry anyway (request timeouts).
+	var sloRetry [NumClasses]float64
+	if r.cfg.SLORetryFrac > 0 {
+		for c := 0; c < NumClasses; c++ {
+			if out.Pool.SLOMiss[c] {
+				sloRetry[c] = out.Pool.Admitted[c] * r.cfg.SLORetryFrac
+			}
+		}
+	}
+	out.SLORetried = sloRetry
+
+	// Route turned-away mass proportionally over this tick's arrival
+	// cohorts (fresh and replayed backlog count as first-timers), then
+	// into the queue or abandonment by attempt count.
+	for c := 0; c < NumClasses; c++ {
+		total := fr[c] + retried[c] + replay[c]
+		if turnedAway[c] > 0 && total > 0 {
+			frac := turnedAway[c] / total
+			if frac > 1 {
+				frac = 1
+			}
+			r.turnAway(c, 1, (fr[c]+replay[c])*frac, dt, &out)
+			for t := 0; t < MaxRetryAttempts; t++ {
+				r.turnAway(c, t+2, attempted[c][t]*frac, dt, &out)
+			}
+		}
+		if sloRetry[c] > 0 {
+			r.sloRetriedTot[c] += sloRetry[c]
+			r.enqueue(c, 1, sloRetry[c], dt, &out)
+		}
+		r.admittedTot[c] += out.Pool.Admitted[c]
+		g := out.Pool.Admitted[c] - sloRetry[c]
+		if g > 0 {
+			out.GoodputUsers += g
+		}
+	}
+	r.goodputTot += out.GoodputUsers
+
+	// Reject processing burns capacity next tick: full cost for pool
+	// rejections, near-zero for breaker fast-fails.
+	var waste float64
+	for c := 0; c < NumClasses; c++ {
+		st := r.classes[c].ServiceTime.Seconds()
+		waste += (out.Pool.Rejected[c]*r.cfg.RejectCostFrac + fastFailed[c]*r.cfg.FastFailCostFrac) * st / dtSec
+	}
+	if waste > maxCapacityErl {
+		waste = maxCapacityErl
+	}
+	r.pendingWaste = waste
+
+	// Planners must see the retry-inflated demand, including what the
+	// breaker turned away before the pool could count it.
+	out.OfferedErl = out.Pool.DemandErl
+	for c := 0; c < NumClasses; c++ {
+		out.OfferedErl += fastFailed[c] / dtSec * r.classes[c].ServiceTime.Seconds()
+	}
+
+	if r.cfg.Breaker.Enabled {
+		r.stepBreaker(&out, &fr, &retried, &replay, &turnedAway)
+	}
+	out.Breaker = r.state
+
+	r.cursor = (r.cursor + 1) % retryRingTicks
+	r.ticks++
+	return out
+}
+
+// turnAway routes one rejected cohort: users turned away `times` times
+// re-queue while attempts remain, abandon otherwise.
+func (r *RetryLoop) turnAway(c, times int, amt float64, dt time.Duration, out *RetryOutcome) {
+	if amt <= 0 {
+		return
+	}
+	if times > r.cfg.MaxAttempts {
+		r.abandon(c, amt, out)
+		return
+	}
+	r.enqueue(c, times, amt, dt, out)
+}
+
+// enqueue parks a cohort in the ring at its policy delay, abandoning
+// any overflow past the per-class queue cap.
+func (r *RetryLoop) enqueue(c, times int, amt float64, dt time.Duration, out *RetryOutcome) {
+	if amt <= 0 {
+		return
+	}
+	if headroom := r.cfg.MaxInRetry - r.inRetry[c]; amt > headroom {
+		if headroom < 0 {
+			headroom = 0
+		}
+		r.abandon(c, amt-headroom, out)
+		amt = headroom
+		if amt <= 0 {
+			return
+		}
+	}
+	ticks := 1
+	if r.cfg.Policy != RetryNaive {
+		ticks = r.delayTicks(dt, r.backoffDelay(times))
+	}
+	r.ring[(r.cursor+ticks)%retryRingTicks][c][times-1] += amt
+	r.inRetry[c] += amt
+	out.ToRetry[c] += amt
+}
+
+// abandon gives a cohort up for good.
+func (r *RetryLoop) abandon(c int, amt float64, out *RetryOutcome) {
+	if amt <= 0 {
+		return
+	}
+	r.abandonedTot[c] += amt
+	out.Abandoned[c] += amt
+}
+
+// backoffDelay is the capped exponential: BaseDelay·2^(times-1), at
+// most MaxDelay.
+func (r *RetryLoop) backoffDelay(times int) time.Duration {
+	d := r.cfg.BaseDelay << uint(times-1)
+	if d <= 0 || d > r.cfg.MaxDelay {
+		d = r.cfg.MaxDelay
+	}
+	return d
+}
+
+// delayTicks converts a delay to ring ticks, applying deterministic
+// jitter from the forked RNG. Always in [1, retryRingTicks-1].
+func (r *RetryLoop) delayTicks(dt, delay time.Duration) int {
+	if j := r.cfg.JitterFrac; j > 0 && r.rng != nil {
+		delay = time.Duration(float64(delay) * (1 - j + 2*j*r.rng.Float64()))
+	}
+	ticks := int((delay + dt - 1) / dt)
+	if ticks < 1 {
+		ticks = 1
+	}
+	if ticks > retryRingTicks-1 {
+		ticks = retryRingTicks - 1
+	}
+	return ticks
+}
+
+// stepBreaker advances the breaker state machine after a tick.
+func (r *RetryLoop) stepBreaker(out *RetryOutcome, fr, retried, replay, turnedAway *[NumClasses]float64) {
+	b := r.cfg.Breaker
+	var arrTot, taTot float64
+	for c := 0; c < NumClasses; c++ {
+		arrTot += fr[c] + retried[c] + replay[c]
+		taTot += turnedAway[c]
+	}
+	switch r.state {
+	case BreakerClosed:
+		r.winSum += arrTot - r.winArr[r.winIdx]
+		r.winRejSum += taTot - r.winRej[r.winIdx]
+		if r.winSum < 0 {
+			r.winSum = 0
+		}
+		if r.winRejSum < 0 {
+			r.winRejSum = 0
+		}
+		r.winArr[r.winIdx] = arrTot
+		r.winRej[r.winIdx] = taTot
+		r.winIdx = (r.winIdx + 1) % b.Window
+		if r.winSum >= b.MinVolume && r.winSum > 0 && r.winRejSum/r.winSum >= b.TripRatio {
+			r.open()
+		}
+	case BreakerOpen:
+		r.openLeft--
+		if r.openLeft <= 0 {
+			r.state = BreakerHalfOpen
+			r.healthy = 0
+		}
+	case BreakerHalfOpen:
+		// Judge the probe by the pool's own rejection ratio; an idle
+		// probe (nothing offered) counts as healthy.
+		var poolOff, poolRej float64
+		for c := 0; c < NumClasses; c++ {
+			poolOff += out.Pool.Offered[c]
+			poolRej += out.Pool.Rejected[c]
+		}
+		if poolOff <= 0 || poolRej/poolOff <= b.TripRatio/2 {
+			r.healthy++
+			if r.healthy >= b.RecoverTicks {
+				r.close()
+			}
+		} else {
+			r.open()
+		}
+	}
+}
+
+// CheckInvariants implements invariant.Checkable: the closed-loop
+// ledger must conserve — every fresh arrival is completed, abandoned,
+// waiting to retry, or parked in the deferral backlog — with all counts
+// finite, non-negative, and within their caps.
+func (r *RetryLoop) CheckInvariants(now time.Duration) error {
+	if r.state < BreakerClosed || r.state > BreakerHalfOpen {
+		return fmt.Errorf("retry: breaker state %d invalid at %v", int(r.state), now)
+	}
+	for c := 0; c < NumClasses; c++ {
+		cl := Class(c)
+		for _, v := range [...]struct {
+			name string
+			val  float64
+		}{
+			{"fresh", r.freshTot[c]},
+			{"retried", r.retriedTot[c]},
+			{"admitted", r.admittedTot[c]},
+			{"abandoned", r.abandonedTot[c]},
+			{"slo-retried", r.sloRetriedTot[c]},
+			{"in-retry", r.inRetry[c]},
+			{"tokens", r.tokens[c]},
+		} {
+			if v.val < 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+				return fmt.Errorf("retry: %s %s count %v invalid at %v", cl, v.name, v.val, now)
+			}
+		}
+		if r.cfg.Policy == RetryBudget && r.tokens[c] > r.cfg.BudgetBurst*(1+1e-9) {
+			return fmt.Errorf("retry: %s tokens %v exceed burst %v at %v", cl, r.tokens[c], r.cfg.BudgetBurst, now)
+		}
+		if r.inRetry[c] > r.cfg.MaxInRetry*(1+1e-9) {
+			return fmt.Errorf("retry: %s queue %v exceeds cap %v at %v", cl, r.inRetry[c], r.cfg.MaxInRetry, now)
+		}
+		want := r.freshTot[c]
+		got := r.admittedTot[c] - r.sloRetriedTot[c] + r.abandonedTot[c] + r.inRetry[c] + r.adm.Backlog(cl)
+		tol := 1e-6 * math.Max(1, want)
+		if math.Abs(got-want) > tol {
+			return fmt.Errorf("retry: %s conservation broken at %v: completed %v + abandoned %v + in-retry %v + backlog %v != fresh %v",
+				cl, now, r.admittedTot[c]-r.sloRetriedTot[c], r.abandonedTot[c], r.inRetry[c], r.adm.Backlog(cl), want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// FuzzRetryTick throws arbitrary arrivals, capacities, and retry/breaker
+// knobs at the closed loop and asserts the structural guarantees: no NaN
+// or negative counts anywhere, per-tick closed-loop conservation
+// (fresh + retried + replay == admitted + deferred + to-retry +
+// abandoned, net of SLO re-entries), queues never negative or above
+// their cap, and the cumulative ledger after a multi-tick run.
+// Registered in the CI fuzz-smoke job.
+func FuzzRetryTick(f *testing.F) {
+	f.Add(60000.0, 12000.0, 6000.0, 40.0, 0, 4, 0.1, 0.25, false)
+	f.Add(0.0, 0.0, 0.0, 0.0, 1, 1, 1.0, 0.0, true)
+	f.Add(1e9, 1e9, 1e9, 1.0, 2, 8, 0.01, 1.0, true)
+	f.Add(-5.0, math.NaN(), math.Inf(1), -3.0, 1, 3, 0.5, 0.3, false)
+	f.Fuzz(func(t *testing.T, i, b, g, capErl float64, policy, maxAttempts int, budgetRatio, rejectCost float64, breaker bool) {
+		cfg := DefaultRetryConfig(RetryPolicy(((policy % 3) + 3) % 3))
+		cfg.MaxAttempts = int(clampFuzzF(float64(maxAttempts), 1, MaxRetryAttempts))
+		cfg.BudgetRatio = clampFuzzF(budgetRatio, 0.001, 10)
+		cfg.RejectCostFrac = clampFuzzF(rejectCost, 0, 1)
+		cfg.SLORetryFrac = 0.05
+		if breaker {
+			cfg.Breaker = DefaultBreakerConfig()
+			cfg.Breaker.Window = 3
+			cfg.Breaker.OpenTicks = 2
+			cfg.Breaker.RecoverTicks = 2
+		}
+		adm, err := NewAdmission(DefaultAdmissionConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRetryLoop(cfg, adm, sim.NewRNG(1))
+		if err != nil {
+			t.Fatalf("sanitized config rejected: %v", err)
+		}
+		fresh := [NumClasses]float64{i, b, g}
+		const dt = time.Minute
+		for tick := 0; tick < 6; tick++ {
+			out := r.Tick(dt, &fresh, capErl)
+			for c := 0; c < NumClasses; c++ {
+				for _, v := range [...]float64{
+					out.Fresh[c], out.Retried[c], out.FastFailed[c],
+					out.ToRetry[c], out.Abandoned[c], out.SLORetried[c],
+				} {
+					if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("tick %d class %s: invalid count %v", tick, Class(c), v)
+					}
+				}
+				handed := out.Fresh[c] + out.Retried[c] - out.FastFailed[c]
+				replay := out.Pool.Offered[c] - handed
+				in := out.Fresh[c] + out.Retried[c] + replay
+				outSum := out.Pool.Admitted[c] + out.Pool.Deferred[c] +
+					(out.ToRetry[c] - out.SLORetried[c]) + out.Abandoned[c]
+				if tol := 1e-6 * math.Max(1, in); math.Abs(in-outSum) > tol {
+					t.Fatalf("tick %d class %s: conservation broken: in %v != out %v",
+						tick, Class(c), in, outSum)
+				}
+			}
+			for _, v := range [...]float64{out.GoodputUsers, out.OfferedErl, out.EffectiveCapacityErl, out.WastedErl} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("tick %d: invalid aggregate %v", tick, v)
+				}
+			}
+			if err := r.CheckInvariants(time.Duration(tick) * dt); err != nil {
+				t.Fatalf("tick %d: %v", tick, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestRetryBudgetGoodputDominatesNaive is the satellite property test:
+// for any fixed capacity trace, a retry-budget client population must
+// complete at least as many users as naive immediate retries. The
+// mechanism: naive clients burn their retry attempts into the teeth of
+// a dip (and their rejections burn RejectCostFrac of capacity), so more
+// of them exhaust MaxAttempts and abandon; budgeted clients defer and
+// land once capacity returns. Both runs see an identical arrival
+// sequence and drain against ample capacity before comparing, so the
+// only difference is what each policy abandoned along the way.
+func TestRetryBudgetGoodputDominatesNaive(t *testing.T) {
+	const dt = time.Second
+	run := func(policy RetryPolicy, seed int64) (goodput, fresh, abandoned float64) {
+		cfg := DefaultRetryConfig(policy)
+		cfg.MaxAttempts = 2
+		cfg.BaseDelay = 2 * dt
+		cfg.MaxDelay = 16 * dt
+		cfg.BudgetRatio = 0.25
+		cfg.SLORetryFrac = 0
+		adm, err := NewAdmission(DefaultAdmissionConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRetryLoop(cfg, adm, sim.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Interactive-only load around 15 erl on 25 servers, with random
+		// sustained capacity-dip episodes (10-40 ticks of near-total
+		// loss) — the regime where naive clients burn every attempt into
+		// the dip while budgeted clients defer past it.
+		var arrivals [NumClasses]float64
+		inDip, dipCap := 0, 0.0
+		for i := 0; i < 300; i++ {
+			arrivals[ClassInteractive] = 500 + rng.Float64()*400 // ~10-18 erl at 20 ms
+			capErl := 25.0
+			if inDip > 0 {
+				capErl = dipCap
+				inDip--
+			} else if rng.Float64() < 0.02 {
+				inDip = 10 + rng.Intn(20)
+				dipCap = rng.Float64() * 1.5
+			}
+			r.Tick(dt, &arrivals, capErl)
+		}
+		// Drain: a fixed tick count for both policies (identical fresh
+		// totals), normal load, ample capacity; fresh traffic keeps
+		// budget tokens flowing so deferred stragglers release too.
+		arrivals[ClassInteractive] = 500
+		for i := 0; i < 3000; i++ {
+			r.Tick(dt, &arrivals, 100)
+		}
+		if left := r.InRetryTotal() + r.Admission().DeferredBacklog(); left > 1e-6 {
+			t.Fatalf("%v seed %d: drain incomplete, %v users still queued", policy, seed, left)
+		}
+		return r.GoodputUsers(), r.FreshUsers(), r.AbandonedUsers()
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		naive, naiveFresh, naiveAband := run(RetryNaive, seed)
+		budget, budgetFresh, _ := run(RetryBudget, seed)
+		if naiveFresh != budgetFresh {
+			t.Fatalf("seed %d: arrival sequences diverged: %v vs %v", seed, naiveFresh, budgetFresh)
+		}
+		if budget < naive-1e-6*naiveFresh {
+			t.Errorf("seed %d: budget goodput %v < naive goodput %v (fresh %v, naive abandoned %v)",
+				seed, budget, naive, naiveFresh, naiveAband)
+		}
+	}
+}
