@@ -11,12 +11,14 @@ package repro_test
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/cooling"
 	"repro/internal/core"
 	"repro/internal/onoff"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -26,12 +28,34 @@ import (
 // scaleHorizon is the simulated time each iteration covers.
 const scaleHorizon = 2 * time.Hour
 
+// scaleOpts parameterizes a scale run. The zero value is the historical
+// configuration with the parallel executor at its GOMAXPROCS default.
+type scaleOpts struct {
+	// workers is the sharded-loop execution width: 0 means GOMAXPROCS,
+	// 1 pins the inline (serial) executor. Results are identical at any
+	// width; only wall time moves.
+	workers int
+	// cadence is the sample/decision/enforcement period (0 = 1 minute).
+	// The 1M tier stretches it to bound the O(N) rounds per iteration.
+	cadence time.Duration
+}
+
 // runScaleDC builds a 100-rack facility with nServers servers and runs
 // the fig4 control stack over scaleHorizon: coordinated manager and cap
-// enforcement on 1-minute decisions, 10 s physics ticks, 1-minute
-// telemetry samples, PUE probes every 15 minutes.
-func runScaleDC(b *testing.B, nServers int) {
+// enforcement on cadence-period decisions, 10 s physics ticks,
+// cadence-period telemetry samples, PUE probes every 15 minutes.
+func runScaleDC(b *testing.B, nServers int, o scaleOpts) {
 	b.Helper()
+	cadence := o.cadence
+	if cadence == 0 {
+		cadence = time.Minute
+	}
+	workers := o.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := par.New(workers)
+	defer pool.Close()
 	const racks = 100
 	perRack := nServers / racks
 	if perRack*racks != nServers {
@@ -70,7 +94,8 @@ func runScaleDC(b *testing.B, nServers int) {
 		},
 		ZoneOfRack:  zoneOfRack,
 		Plant:       plant,
-		SampleEvery: time.Minute,
+		SampleEvery: cadence,
+		Pool:        pool,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -93,7 +118,7 @@ func runScaleDC(b *testing.B, nServers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	e.Every(time.Minute, func(eng *sim.Engine) { enforcer.Enforce(eng.Now()) })
+	e.Every(cadence, func(eng *sim.Engine) { enforcer.Enforce(eng.Now()) })
 
 	demand := func(now time.Duration) float64 {
 		h := now.Hours() - 24*float64(int(now.Hours()/24))
@@ -105,7 +130,7 @@ func runScaleDC(b *testing.B, nServers int) {
 		FleetSize:      nServers,
 		Queue:          workload.DefaultQueueModel(),
 		SLA:            100 * time.Millisecond,
-		DecisionPeriod: time.Minute,
+		DecisionPeriod: cadence,
 		Mode:           core.ModeCoordinated,
 		InitialOn:      nServers / 2,
 		Trigger:        onoff.DelayTrigger{High: 60 * time.Millisecond, Low: 25 * time.Millisecond, StepUp: 1, StepDown: 1, Min: 1, Max: nServers},
@@ -129,18 +154,18 @@ func runScaleDC(b *testing.B, nServers int) {
 
 // benchScaleDC reports simulated server-hours per wall second, the
 // throughput metric the benchdiff gate watches at scale.
-func benchScaleDC(b *testing.B, nServers int) {
+func benchScaleDC(b *testing.B, nServers int, o scaleOpts) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		runScaleDC(b, nServers)
+		runScaleDC(b, nServers, o)
 	}
 	srvHours := float64(b.N) * float64(nServers) * scaleHorizon.Hours()
 	b.ReportMetric(srvHours/b.Elapsed().Seconds(), "srv-h/sec")
 }
 
 // BenchmarkDataCenter1k is the CI-sized tier (runs in short mode).
-func BenchmarkDataCenter1k(b *testing.B) { benchScaleDC(b, 1_000) }
+func BenchmarkDataCenter1k(b *testing.B) { benchScaleDC(b, 1_000, scaleOpts{}) }
 
 // BenchmarkDataCenter10k is the headline scale tier: the fig4 control
 // stack over ten thousand servers.
@@ -148,14 +173,39 @@ func BenchmarkDataCenter10k(b *testing.B) {
 	if testing.Short() {
 		b.Skip("10k tier skipped in short mode")
 	}
-	benchScaleDC(b, 10_000)
+	benchScaleDC(b, 10_000, scaleOpts{})
 }
 
 // BenchmarkDataCenter100k demonstrates headroom at a hundred thousand
 // servers — the "millions of users" operating point of the roadmap.
+// Workers default to GOMAXPROCS; BenchmarkDataCenter100kWorkers1 below
+// is the serial pin, so the pair measures the parallel speedup on
+// whatever machine runs them.
 func BenchmarkDataCenter100k(b *testing.B) {
 	if testing.Short() {
 		b.Skip("100k tier skipped in short mode")
 	}
-	benchScaleDC(b, 100_000)
+	benchScaleDC(b, 100_000, scaleOpts{})
+}
+
+// BenchmarkDataCenter100kWorkers1 runs the 100k tier with the sharded
+// loops pinned to the inline executor — the workers=1 baseline of the
+// parallel-speedup comparison. Same bits, different wall clock.
+func BenchmarkDataCenter100kWorkers1(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k tier skipped in short mode")
+	}
+	benchScaleDC(b, 100_000, scaleOpts{workers: 1})
+}
+
+// BenchmarkDataCenter1M is the million-server tier: a 2-simulated-hour
+// run of the full control stack at 10,000 servers per rack. Sampling and
+// decisions stretch to a 15-minute cadence so each iteration stays
+// bounded by the O(N) rounds rather than drowned by them; the physics
+// tick and PUE probes keep their usual periods.
+func BenchmarkDataCenter1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M tier skipped in short mode")
+	}
+	benchScaleDC(b, 1_000_000, scaleOpts{cadence: 15 * time.Minute})
 }

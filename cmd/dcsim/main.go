@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/cooling"
 	"repro/internal/core"
 	"repro/internal/onoff"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/serve"
 	"repro/internal/server"
@@ -105,6 +107,7 @@ type options struct {
 	speedup     float64
 	carbonBase  float64
 	carbonSwing float64
+	workers     int
 }
 
 // validate collects every flag violation into one error, so a user with
@@ -148,6 +151,9 @@ func (o options) validate() error {
 	if err := o.carbonModel().Validate(); err != nil {
 		bad("-carbon/-carbon-swing: %v", err)
 	}
+	if o.workers < 0 {
+		bad("-workers %d must be non-negative", o.workers)
+	}
 	if len(problems) == 0 {
 		return nil
 	}
@@ -177,6 +183,7 @@ func run(args []string, stdout io.Writer) error {
 	fs.Float64Var(&o.speedup, "speedup", 60, "virtual seconds per wall second for -serve")
 	fs.Float64Var(&o.carbonBase, "carbon", carbon.DefaultGridGPerKWh, "grid carbon intensity base (gCO2e/kWh)")
 	fs.Float64Var(&o.carbonSwing, "carbon-swing", 0.2, "diurnal carbon intensity swing fraction [0,1)")
+	fs.IntVar(&o.workers, "workers", 0, "worker count for the sharded per-tick loops (0 = GOMAXPROCS, 1 = serial; any value gives identical results)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -184,6 +191,13 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	mode, _ := parseMode(o.modeStr)
+
+	workers := o.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := par.New(workers)
+	defer pool.Close()
 
 	srvCfg := server.DefaultConfig()
 	e := sim.NewEngine(o.seed)
@@ -207,6 +221,7 @@ func run(args []string, stdout io.Writer) error {
 		},
 		InitialOn: o.fleet / 2,
 		Record:    o.csvPath != "",
+		Pool:      pool,
 	}
 	if o.users {
 		// Front dispatch with request-level admission: the diurnal
@@ -412,6 +427,7 @@ func buildFacility(e *sim.Engine, srvCfg server.Config, mgrCfg core.ManagerConfi
 		ZoneOfRack:  zoneOfRack,
 		Plant:       plant,
 		SampleEvery: 15 * time.Second,
+		Pool:        mgrCfg.Pool,
 	}
 	dc, err := core.NewDataCenter(e, dcCfg)
 	if err != nil {

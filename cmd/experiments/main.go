@@ -51,6 +51,7 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.String("json", "", "write per-job metrics and aggregates to this JSON file")
 	invariants := fs.Bool("invariants", true, "assert physical-law invariants after every kernel event")
 	scale := fs.Int("scale", 1, "facility size multiplier for the fig4-family experiments (servers per rack and matching ratings)")
+	workers := fs.Int("workers", 0, "per-run worker count for the sharded per-tick loops (0 = GOMAXPROCS, 1 = serial; any value gives identical results)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	traceOut := fs.String("trace", "", "write a runtime execution trace of the run to this file")
@@ -108,12 +109,16 @@ func run(args []string, out io.Writer) error {
 	if *scale < 1 {
 		return fmt.Errorf("scale %d must be at least 1", *scale)
 	}
+	if *workers < 0 {
+		return fmt.Errorf("workers %d must be non-negative", *workers)
+	}
 	cfg := harness.Config{
 		BaseSeed:         *seed,
 		Reps:             *reps,
 		Parallel:         *parallel,
 		DisarmInvariants: !*invariants,
 		Scale:            *scale,
+		Workers:          *workers,
 	}
 	if *id != "" {
 		if !exp.Known(*id) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cooling"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -35,6 +36,10 @@ type DataCenterConfig struct {
 	// SampleEvery enables telemetry collection at this period (0
 	// disables; the paper's scenario samples every 15 s).
 	SampleEvery time.Duration
+	// Pool, when non-nil, executes the facility's sharded per-tick loops
+	// (physics trip scans, dispatch, frame sampling) on its workers. Nil
+	// runs the same sharded structure inline; results are identical.
+	Pool *par.Pool
 }
 
 // DataCenter is the assembled cyber-physical facility of Figure 4's
@@ -65,9 +70,24 @@ type DataCenter struct {
 	// this, keeping the steady-state tick O(zones) instead of O(servers)
 	// while preserving exact trip semantics.
 	zoneMinTripC []float64
-	tripped      int
-	cancels      []sim.Cancel
-	attached     bool
+	// Sharded physics-scan machinery (armed only for zones larger than
+	// parCutoff, which implies a sharded fleet): per-zone shard lists over
+	// the zone's server index, a slot → shard routing map covering every
+	// zone, and padded per-shard trip counters so concurrent shards never
+	// bounce a cache line while counting.
+	zoneShards [][]par.Range
+	physRoute  []int32
+	tripCnt    []padCount
+	tripped    int
+	cancels    []sim.Cancel
+	attached   bool
+}
+
+// padCount is an int64 counter padded to a full cache line, for slabs of
+// per-shard counters written concurrently.
+type padCount struct {
+	v int64
+	_ [56]byte
 }
 
 // NewDataCenter builds and wires the facility.
@@ -103,6 +123,7 @@ func NewDataCenter(e *sim.Engine, cfg DataCenterConfig) (*DataCenter, error) {
 	if err != nil {
 		return nil, err
 	}
+	fleet.SetParallel(cfg.Pool)
 	dc := &DataCenter{
 		cfg:    cfg,
 		engine: e,
@@ -144,7 +165,7 @@ func NewDataCenter(e *sim.Engine, cfg DataCenterConfig) (*DataCenter, error) {
 		if err != nil {
 			return nil, err
 		}
-		dc.frameBuf = make([]float64, len(keys))
+		dc.frameBuf = par.AlignedFloats(len(keys))
 	}
 	return dc, nil
 }
@@ -188,21 +209,44 @@ func (dc *DataCenter) RackOfServer(i int) int { return dc.rackOf[i] }
 func (dc *DataCenter) ServersInZone(z int) []int { return dc.zoneServers[z] }
 
 // rebuildZoneIndex recomputes the zone→servers index and per-zone
-// minimum trip thresholds from the current order-indexed zone map.
+// minimum trip thresholds from the current order-indexed zone map, and —
+// for zones big enough to shard — the per-zone shard lists plus the
+// slot-level routing map the sharded trip scan folds its deltas through.
 func (dc *DataCenter) rebuildZoneIndex() {
 	if dc.zoneServers == nil {
 		dc.zoneServers = make([][]int, dc.room.Zones())
 		dc.zoneMinTripC = make([]float64, dc.room.Zones())
+		dc.zoneShards = make([][]par.Range, dc.room.Zones())
 	}
 	for z := range dc.zoneServers {
 		dc.zoneServers[z] = dc.zoneServers[z][:0]
 		dc.zoneMinTripC[z] = math.Inf(1)
+		dc.zoneShards[z] = nil
 	}
 	servers := dc.fleet.Servers()
 	for i, z := range dc.zoneOf {
 		dc.zoneServers[z] = append(dc.zoneServers[z], i)
 		if t := servers[i].Config().TripTempC; t < dc.zoneMinTripC[z] {
 			dc.zoneMinTripC[z] = t
+		}
+	}
+	for z, list := range dc.zoneServers {
+		// The shard/serial choice depends only on the zone's size, so the
+		// scan's float grouping — and therefore every downstream bit — is
+		// the same for every worker count. A zone above the cutoff implies
+		// the fleet is above it too, so the fleet's routing plumbing exists.
+		if len(list) <= parCutoff {
+			continue
+		}
+		dc.zoneShards[z] = par.Shards(len(list))
+		if dc.physRoute == nil {
+			dc.physRoute = make([]int32, dc.fleet.Size())
+			dc.tripCnt = make([]padCount, par.MaxShards)
+		}
+		for sh, r := range dc.zoneShards[z] {
+			for k := r.Lo; k < r.Hi; k++ {
+				dc.physRoute[dc.fleet.slotOfPos[list[k]]] = int32(sh)
+			}
 		}
 	}
 }
@@ -235,6 +279,10 @@ func (dc *DataCenter) Attach() (sim.Cancel, error) {
 			if inlet <= dc.zoneMinTripC[z] {
 				continue
 			}
+			if shards := dc.zoneShards[z]; shards != nil {
+				dc.tripped += dc.scanZoneSharded(now, inlet, dc.zoneServers[z], shards)
+				continue
+			}
 			for _, i := range dc.zoneServers[z] {
 				if servers[i].ObserveInlet(now, inlet) {
 					dc.tripped++
@@ -255,21 +303,63 @@ func (dc *DataCenter) Attach() (sim.Cancel, error) {
 	}, nil
 }
 
+// scanZoneSharded is the trip scan for one hot zone, fanned out over the
+// zone's shard list. ObserveInlet advances each server and may trip it;
+// the resulting power/energy/state deltas route to per-shard
+// accumulators (merged in shard order at endShardPhase), and each shard
+// counts its trips into a padded counter folded serially afterwards.
+func (dc *DataCenter) scanZoneSharded(now time.Duration, inlet float64, list []int, shards []par.Range) int {
+	f := dc.fleet
+	servers := f.servers
+	f.beginShardPhase(dc.physRoute)
+	f.pool.RunRanges(shards, func(sh int, r par.Range) {
+		var n int64
+		for k := r.Lo; k < r.Hi; k++ {
+			if servers[list[k]].ObserveInlet(now, inlet) {
+				n++
+			}
+		}
+		dc.tripCnt[sh].v = n
+	})
+	f.endShardPhase()
+	total := 0
+	for sh := range shards {
+		total += int(dc.tripCnt[sh].v)
+		dc.tripCnt[sh].v = 0
+	}
+	return total
+}
+
 // sample pushes one telemetry round into the store as a single columnar
 // frame append. Power is piecewise-constant between events, so no
 // per-server Sync is needed to read it; the fleet's running sums are
-// rebased here periodically to shed incremental float drift.
+// rebased here periodically to shed incremental float drift. On sharded
+// fleets the per-server columns fill in parallel — pure slot-local reads
+// into disjoint frame columns, so the frame is identical to the serial
+// fill — and the columnar fold inside AppendPar fans out per column.
+// MaybeRebase stays strictly serial, once per round, after the append.
 func (dc *DataCenter) sample(now time.Duration) {
 	servers := dc.fleet.Servers()
-	for i, s := range servers {
-		dc.frameBuf[2*i] = s.Power()
-		dc.frameBuf[2*i+1] = s.Utilization()
+	f := dc.fleet
+	if f.shards != nil {
+		f.pool.RunRanges(f.shards, func(_ int, r par.Range) {
+			for i := r.Lo; i < r.Hi; i++ {
+				s := servers[i]
+				dc.frameBuf[2*i] = s.Power()
+				dc.frameBuf[2*i+1] = s.Utilization()
+			}
+		})
+	} else {
+		for i, s := range servers {
+			dc.frameBuf[2*i] = s.Power()
+			dc.frameBuf[2*i+1] = s.Utilization()
+		}
 	}
 	base := 2 * len(servers)
 	for z := 0; z < dc.room.Zones(); z++ {
 		dc.frameBuf[base+z] = dc.room.ZoneInletC(z)
 	}
-	if err := dc.frames.Append(now, dc.frameBuf); err != nil {
+	if err := dc.frames.AppendPar(now, dc.frameBuf, f.pool); err != nil {
 		panic(fmt.Sprintf("core: telemetry: %v", err)) // single writer, monotone time
 	}
 	dc.fleet.MaybeRebase()

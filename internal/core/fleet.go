@@ -13,6 +13,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/par"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -24,6 +25,14 @@ import (
 // this cadence keeps the drift many orders of magnitude below the 1e-6
 // golden-fixture tolerance while staying O(N) only once per window.
 const rebaseEvery = 64
+
+// parCutoff is the fleet size above which the sharded fold becomes the
+// fleet's canonical aggregation structure. The choice is made from size
+// alone — never from the worker count or pool presence — so a run's float
+// results are bit-identical whether its shards execute on one goroutine
+// or eight. Fleets at or below the cutoff (every golden fixture) keep the
+// pre-existing serial left-fold and its exact historical bits.
+const parCutoff = 1024
 
 // Fleet manages an ordered set of servers as one elastic pool: power
 // servers up or down to a target count, dispatch offered load over the
@@ -82,6 +91,46 @@ type Fleet struct {
 	// Dispatch scratch, reused across calls (engine is single-threaded).
 	capsBuf []float64
 	utilBuf []float64
+
+	// Sharded-fold machinery, armed by NewFleet when the fleet exceeds
+	// parCutoff (nil otherwise). shards partitions activation positions
+	// [0, n) purely by size; slotOfPos maps activation position → slot
+	// (identity until Reorder); dispatchShard maps slot → the shard owning
+	// its activation position, so notification deltas raised inside a
+	// parallel dispatch phase land in that shard's accumulator.
+	shards        []par.Range
+	slotOfPos     []int32
+	dispatchShard []int32
+	// routeShard is non-nil only inside a shard phase (beginShardPhase /
+	// endShardPhase); while set, ServerChanged folds deltas into
+	// acc[routeShard[slot]] instead of the shared running sums, which is
+	// what makes concurrent per-shard server mutation race-free.
+	routeShard []int32
+	// acc is one padded accumulator per possible shard; accRack/accZone
+	// are the matching per-shard rack/zone power-delta slabs (allocated
+	// with SetPowerGroups). All routed fields are zero outside phases —
+	// endShardPhase merges them into the running sums in shard order and
+	// re-zeroes, and VerifyAggregates asserts the invariant.
+	acc     []shardAcc
+	accRack [][]float64
+	accZone [][]float64
+	// pool executes shard fan-outs; nil runs them inline (workers=1).
+	pool *par.Pool
+	// rebases counts exact Rebase recomputations, so tests can pin the
+	// once-per-sample-round scheduling under parallel sampling.
+	rebases int
+}
+
+// shardAcc collects one shard's aggregate deltas during a parallel phase.
+// Padded to two cache lines so adjacent shards' accumulators never share
+// a line (they are written concurrently by different workers).
+type shardAcc struct {
+	power, energy float64
+	capSum, maxU  float64
+	on, active    int64
+	trips         int64
+	groupDirty    bool
+	_             [71]byte
 }
 
 // NewFleet builds a fleet of n servers from cfg, all initially off.
@@ -106,15 +155,51 @@ func NewFleet(e *sim.Engine, cfg server.Config, n int) (*Fleet, error) {
 		s.Watch(i, f)
 	}
 	f.bySlot = append([]*server.Server(nil), f.servers...)
-	f.capsBuf = make([]float64, n)
-	f.utilBuf = make([]float64, n)
+	f.capsBuf = par.AlignedFloats(n)
+	f.utilBuf = par.AlignedFloats(n)
+	if n > parCutoff {
+		f.shards = par.Shards(n)
+		f.slotOfPos = make([]int32, n)
+		for i := range f.slotOfPos {
+			f.slotOfPos[i] = int32(i)
+		}
+		f.dispatchShard = make([]int32, n)
+		f.acc = make([]shardAcc, par.MaxShards)
+		f.rebuildDispatchShards()
+	}
 	e.Register(f)
 	return f, nil
 }
 
+// SetParallel installs the worker pool that executes the fleet's shard
+// fan-outs. A nil pool (or a fleet at or below parCutoff) runs them
+// inline on the calling goroutine; the produced bits are identical either
+// way, because shard structure never depends on the pool.
+func (f *Fleet) SetParallel(p *par.Pool) { f.pool = p }
+
+// Pool returns the installed worker pool (nil means inline execution).
+func (f *Fleet) Pool() *par.Pool { return f.pool }
+
+// rebuildDispatchShards refreshes the slot → dispatch-shard map from the
+// current activation order. Called whenever slotOfPos changes (NewFleet,
+// Reorder).
+func (f *Fleet) rebuildDispatchShards() {
+	for sh, r := range f.shards {
+		for i := r.Lo; i < r.Hi; i++ {
+			f.dispatchShard[f.slotOfPos[i]] = int32(sh)
+		}
+	}
+}
+
 // ServerChanged implements server.Watcher: it folds one server's
-// transition delta into the SoA plane and the running aggregates.
+// transition delta into the SoA plane and the running aggregates. Inside
+// a shard phase the delta is routed to the owning shard's accumulator
+// instead, so concurrent shards never touch the shared sums.
 func (f *Fleet) ServerChanged(slot int, c server.Change) {
+	if f.routeShard != nil {
+		f.serverChangedRouted(slot, c)
+		return
+	}
 	f.powerW[slot] = c.NewPowerW
 	d := c.NewPowerW - c.OldPowerW
 	f.powerTotal += d
@@ -137,6 +222,86 @@ func (f *Fleet) ServerChanged(slot int, c server.Change) {
 	if f.rackOfSlot != nil && d != 0 {
 		f.rackPower[f.rackOfSlot[slot]] += d
 		f.zonePower[f.zoneOfSlot[slot]] += d
+	}
+}
+
+// serverChangedRouted is the shard-phase variant of ServerChanged: the
+// per-slot plane write stays (each slot is owned by exactly one shard),
+// every scalar delta goes into the shard's private accumulator, and the
+// rack/zone deltas into its private slabs. Merging back happens once, in
+// shard order, at endShardPhase.
+func (f *Fleet) serverChangedRouted(slot int, c server.Change) {
+	f.powerW[slot] = c.NewPowerW
+	sh := f.routeShard[slot]
+	a := &f.acc[sh]
+	d := c.NewPowerW - c.OldPowerW
+	a.power += d
+	a.energy += c.EnergyDeltaJ
+	a.trips += int64(c.TripDelta)
+	if c.NewState != c.OldState {
+		if c.OldState == server.StateActive || c.OldState == server.StateBooting {
+			a.on--
+		}
+		if c.NewState == server.StateActive || c.NewState == server.StateBooting {
+			a.on++
+		}
+		if c.OldState == server.StateActive {
+			a.active--
+		}
+		if c.NewState == server.StateActive {
+			a.active++
+		}
+	}
+	if f.rackOfSlot != nil && d != 0 {
+		f.accRack[sh][f.rackOfSlot[slot]] += d
+		f.accZone[sh][f.zoneOfSlot[slot]] += d
+		a.groupDirty = true
+	}
+}
+
+// beginShardPhase arms delta routing for a parallel phase: route maps
+// slot → accumulator shard for every slot that may notify during the
+// phase. The caller must end the phase (endShardPhase) on the same
+// goroutine before any aggregate read or serial mutation.
+func (f *Fleet) beginShardPhase(route []int32) {
+	if f.routeShard != nil {
+		panic("core: nested shard phase")
+	}
+	f.routeShard = route
+}
+
+// endShardPhase disarms routing and merges every shard's accumulated
+// deltas into the running sums in ascending shard order — the fixed
+// reduction order that keeps the float results independent of which
+// worker executed which shard. Accumulators are re-zeroed, restoring the
+// all-zero-outside-phases invariant.
+func (f *Fleet) endShardPhase() {
+	f.routeShard = nil
+	for sh := range f.acc {
+		a := &f.acc[sh]
+		f.powerTotal += a.power
+		f.energyTotal += a.energy
+		f.onCount += int(a.on)
+		f.activeCount += int(a.active)
+		f.tripsTotal += int(a.trips)
+		a.power, a.energy = 0, 0
+		a.on, a.active, a.trips = 0, 0, 0
+		if a.groupDirty {
+			ar, az := f.accRack[sh], f.accZone[sh]
+			for r, d := range ar {
+				if d != 0 {
+					f.rackPower[r] += d
+					ar[r] = 0
+				}
+			}
+			for z, d := range az {
+				if d != 0 {
+					f.zonePower[z] += d
+					az[z] = 0
+				}
+			}
+			a.groupDirty = false
+		}
 	}
 }
 
@@ -164,6 +329,16 @@ func (f *Fleet) SetPowerGroups(rackOf, zoneOf []int, nRacks, nZones int) error {
 	f.zonePower = make([]float64, nZones)
 	f.rackScratch = make([]float64, nRacks)
 	f.zoneScratch = make([]float64, nZones)
+	if f.shards != nil {
+		f.accRack = make([][]float64, par.MaxShards)
+		f.accZone = make([][]float64, par.MaxShards)
+		for sh := range f.accRack {
+			// Separately allocated aligned slabs: no two shards' group
+			// deltas ever share a cache line.
+			f.accRack[sh] = par.AlignedFloats(nRacks)
+			f.accZone[sh] = par.AlignedFloats(nZones)
+		}
+	}
 	// Populate the just-installed (zeroed) group sums without measuring
 	// drift: they have no incremental history yet, so the gap to the
 	// exact sums is installation, not drift.
@@ -201,6 +376,10 @@ func (f *Fleet) Rebase() { f.rebase(true) }
 // rebase is Rebase with drift measurement optional: SetPowerGroups
 // skips it for the very first recompute over freshly zeroed group sums.
 func (f *Fleet) rebase(measure bool) {
+	if f.routeShard != nil {
+		panic("core: rebase during a shard phase")
+	}
+	f.rebases++
 	var pw, en float64
 	for r := range f.rackScratch {
 		f.rackScratch[r] = 0
@@ -248,13 +427,25 @@ func (f *Fleet) RebaseDrift() (lastW, maxW float64) {
 
 // MaybeRebase counts one sample boundary and rebases every rebaseEvery-th
 // call, amortizing the exact O(N) recompute over the sampling cadence.
+// It must be called exactly once per sample round, from serial code —
+// never from inside a shard fan-out, where it would count once per shard
+// and mutate the running sums concurrently. The rebase guard enforces
+// the phase half of that contract; Rebases lets tests pin the cadence.
 func (f *Fleet) MaybeRebase() {
+	if f.routeShard != nil {
+		panic("core: MaybeRebase during a shard phase")
+	}
 	f.rebaseTick++
 	if f.rebaseTick >= rebaseEvery {
 		f.rebaseTick = 0
 		f.Rebase()
 	}
 }
+
+// Rebases reports how many exact rebase recomputations have run over the
+// fleet's lifetime (including the SetPowerGroups installation pass and
+// explicit Rebase/Sync calls).
+func (f *Fleet) Rebases() int { return f.rebases }
 
 // VerifyAggregates cross-validates the maintained aggregates against a
 // fresh full scan: counters and the per-slot plane must match exactly,
@@ -326,6 +517,48 @@ func (f *Fleet) VerifyAggregates() error {
 				return fmt.Errorf("core: maintained zone %d power %v W != scan %v W", z, f.zonePower[z], zp[z])
 			}
 		}
+	}
+	if f.shards != nil {
+		if err := f.verifyShardedFold(relTol, absTol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyShardedFold cross-checks the maintained sums against the sharded
+// reduction — a per-shard partial fold over the power plane merged in
+// shard order, exactly the grouping parallel phases produce — and
+// asserts the phase invariants: no phase in flight, every accumulator
+// zeroed, and the shard partition still tiling the fleet.
+func (f *Fleet) verifyShardedFold(relTol, absTol float64) error {
+	if f.routeShard != nil {
+		return fmt.Errorf("core: aggregate verification during a shard phase")
+	}
+	for sh := range f.acc {
+		a := &f.acc[sh]
+		if a.power != 0 || a.energy != 0 || a.on != 0 || a.active != 0 || a.trips != 0 || a.groupDirty {
+			return fmt.Errorf("core: shard %d accumulator not zero outside a phase (%+v)", sh, *a)
+		}
+	}
+	lo := 0
+	var pw float64
+	for _, r := range f.shards {
+		if r.Lo != lo || r.Hi <= r.Lo {
+			return fmt.Errorf("core: shard partition does not tile the fleet at %d", r.Lo)
+		}
+		lo = r.Hi
+		var part float64
+		for i := r.Lo; i < r.Hi; i++ {
+			part += f.powerW[f.slotOfPos[i]]
+		}
+		pw += part
+	}
+	if lo != len(f.servers) {
+		return fmt.Errorf("core: shard partition covers %d of %d servers", lo, len(f.servers))
+	}
+	if !withinTol(f.powerTotal, pw, relTol, absTol) {
+		return fmt.Errorf("core: maintained power %v W != sharded fold %v W", f.powerTotal, pw)
 	}
 	return nil
 }
@@ -413,6 +646,14 @@ func (f *Fleet) Reorder(perm []int) error {
 		next[i] = f.servers[p]
 	}
 	f.servers = next
+	if f.shards != nil {
+		nextSlot := make([]int32, len(perm))
+		for i, p := range perm {
+			nextSlot[i] = f.slotOfPos[p]
+		}
+		f.slotOfPos = nextSlot
+		f.rebuildDispatchShards()
+	}
 	return nil
 }
 
@@ -451,6 +692,9 @@ func (f *Fleet) Capacities() []float64 {
 // Utilizations slice is fleet-owned scratch, valid only until the next
 // Dispatch call; copy it to retain.
 func (f *Fleet) Dispatch(now time.Duration, offered float64) (workload.Dispatch, float64) {
+	if f.shards != nil {
+		return f.dispatchSharded(now, offered)
+	}
 	for i, s := range f.servers {
 		f.capsBuf[i] = s.AvailableCapacity()
 	}
@@ -461,6 +705,59 @@ func (f *Fleet) Dispatch(now time.Duration, offered float64) (workload.Dispatch,
 		maxU = math.Max(maxU, d.Utilizations[i])
 	}
 	return d, maxU
+}
+
+// dispatchSharded is Dispatch over the sharded fold: phase A reads every
+// server's available capacity into shard-partitioned scratch and folds
+// per-shard capacity partials (pure reads, no routing needed); the
+// spread decision is taken once from the shard-ordered total; phase B
+// applies the identical fill to every shard while notification deltas
+// route to per-shard accumulators. Both phases produce bits that depend
+// only on the shard partition — i.e. on fleet size — so any worker count
+// yields the same dispatch, the same power plane, and the same energy.
+func (f *Fleet) dispatchSharded(now time.Duration, offered float64) (workload.Dispatch, float64) {
+	f.pool.RunRanges(f.shards, func(sh int, r par.Range) {
+		var sum float64
+		for i := r.Lo; i < r.Hi; i++ {
+			c := f.servers[i].AvailableCapacity()
+			f.capsBuf[i] = c
+			if c > 0 {
+				sum += c
+			}
+		}
+		f.acc[sh].capSum = sum
+	})
+	var total float64
+	for sh := range f.shards {
+		total += f.acc[sh].capSum
+		f.acc[sh].capSum = 0
+	}
+	plan := workload.PlanSpread(offered, total)
+	f.beginShardPhase(f.dispatchShard)
+	f.pool.RunRanges(f.shards, func(sh int, r par.Range) {
+		var maxU float64
+		for i := r.Lo; i < r.Hi; i++ {
+			var u float64
+			if f.capsBuf[i] > 0 {
+				u = plan.Fill
+			}
+			f.utilBuf[i] = u
+			f.servers[i].SetUtilization(now, u)
+			if u > maxU {
+				maxU = u
+			}
+		}
+		f.acc[sh].maxU = maxU
+	})
+	f.endShardPhase()
+	var maxU float64
+	for sh := range f.shards {
+		if f.acc[sh].maxU > maxU {
+			maxU = f.acc[sh].maxU
+		}
+		f.acc[sh].maxU = 0
+	}
+	return workload.Dispatch{Utilizations: f.utilBuf, Dropped: plan.Dropped}, maxU
 }
 
 // PowerW reports the instantaneous total fleet draw. O(1): maintained

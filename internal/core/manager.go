@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/onoff"
+	"repro/internal/par"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -90,6 +91,11 @@ type ManagerConfig struct {
 	// planning sees what actually hits the front door. Mutually
 	// exclusive with Admission; requires ClassDemand.
 	Retry *workload.RetryLoop
+	// Pool, when non-nil, executes the fleet's sharded per-tick loops
+	// (capacity scan, dispatch application) on its workers. Ignored by
+	// NewManagerForFleet when the caller's fleet already carries a pool
+	// (e.g. one installed by its DataCenter).
+	Pool *par.Pool
 }
 
 // Validate checks the configuration.
@@ -246,6 +252,9 @@ func NewManagerForFleet(e *sim.Engine, cfg ManagerConfig, fleet *Fleet, demand D
 	}
 	if fleet == nil || fleet.Size() != cfg.FleetSize {
 		return nil, fmt.Errorf("core: fleet size mismatch with config %d", cfg.FleetSize)
+	}
+	if cfg.Pool != nil && fleet.Pool() == nil {
+		fleet.SetParallel(cfg.Pool)
 	}
 	m := &Manager{cfg: cfg, fleet: fleet, engine: e, demand: demand}
 	var err error

@@ -8,10 +8,12 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
 	"repro/internal/invariant"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -37,7 +39,14 @@ type Env struct {
 	// so scale runs are reproducible from the CLI. 0 or 1 is the paper's
 	// scale and produces byte-identical results to the pre-knob runs.
 	Scale int
-	probe sim.Probe
+	// Workers sets the execution width of the sharded per-tick loops:
+	// 0 means GOMAXPROCS, 1 forces inline execution. Any value produces
+	// identical results — shard structure depends only on fleet size —
+	// so the knob trades wall-clock time only.
+	Workers int
+	pool    *par.Pool
+	poolSet bool
+	probe   sim.Probe
 	// checker asserts physical-law invariants after every event of every
 	// engine this run creates. Armed by default; DisarmInvariants turns
 	// it off (e.g. for overhead-sensitive benchmarks).
@@ -56,6 +65,30 @@ func (v *Env) FleetScale() int {
 		return 1
 	}
 	return v.Scale
+}
+
+// Pool returns the run's shared worker pool, creating it on first use
+// from the Workers knob (nil when the effective width is 1 — inline
+// execution). Callers pass it into DataCenterConfig/ManagerConfig; Close
+// releases it.
+func (v *Env) Pool() *par.Pool {
+	if !v.poolSet {
+		w := v.Workers
+		if w == 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		v.pool = par.New(w)
+		v.poolSet = true
+	}
+	return v.pool
+}
+
+// Close releases the run's worker pool (idempotent; safe when no pool
+// was ever created). Pool() after Close would leak, so don't.
+func (v *Env) Close() {
+	v.pool.Close()
+	v.pool = nil
+	v.poolSet = true
 }
 
 // DisarmInvariants turns off runtime invariant checking for engines
@@ -171,7 +204,9 @@ func Known(id string) bool {
 
 // Run executes one experiment by id from a seed.
 func Run(id string, seed int64) (Result, error) {
-	return RunEnv(id, NewEnv(seed))
+	env := NewEnv(seed)
+	defer env.Close()
+	return RunEnv(id, env)
 }
 
 // RunEnv executes one experiment by id in a caller-supplied environment.

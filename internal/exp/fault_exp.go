@@ -9,6 +9,7 @@ import (
 	"repro/internal/cooling"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/sensornet"
 	"repro/internal/server"
@@ -61,8 +62,9 @@ func (r FaultOutageResult) Report() string {
 }
 
 // outageFacility is the 32·scale-server facility the outage scenarios
-// share (scale 1 = the paper-scale 32 servers).
-func outageFacility(e *sim.Engine, scale int) (*core.DataCenter, error) {
+// share (scale 1 = the paper-scale 32 servers). pool, when non-nil,
+// drives the facility's sharded per-tick loops.
+func outageFacility(e *sim.Engine, scale int, pool *par.Pool) (*core.DataCenter, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -88,6 +90,7 @@ func outageFacility(e *sim.Engine, scale int) (*core.DataCenter, error) {
 		},
 		ZoneOfRack: []int{0, 1, 2, 3},
 		Plant:      plant,
+		Pool:       pool,
 	})
 	if err != nil {
 		return nil, err
@@ -103,7 +106,7 @@ func RunFaultOutage(env *Env) (Result, error) {
 	runScenario := func(genFails bool) (OutageScenario, error) {
 		var s OutageScenario
 		e := env.NewEngine(env.Seed)
-		dc, err := outageFacility(e, env.FleetScale())
+		dc, err := outageFacility(e, env.FleetScale(), env.Pool())
 		if err != nil {
 			return s, err
 		}
@@ -248,6 +251,7 @@ func RunFaultCRAC(env *Env) (Result, error) {
 			},
 			ZoneOfRack: []int{0, 1},
 			Plant:      plant,
+			Pool:       env.Pool(),
 		})
 		if err != nil {
 			return s, nil, err

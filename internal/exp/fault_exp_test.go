@@ -133,7 +133,7 @@ func TestChaosSoak(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		env := NewEnv(seed)
 		e := env.NewEngine(seed)
-		dc, err := outageFacility(e, 1)
+		dc, err := outageFacility(e, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

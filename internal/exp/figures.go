@@ -391,6 +391,7 @@ func RunFig4(env *Env) (Result, error) {
 		ZoneOfRack:  []int{0, 1, 2, 3},
 		Plant:       plant,
 		SampleEvery: 15 * time.Second,
+		Pool:        env.Pool(),
 	}
 	dc, err := core.NewDataCenter(e, dcCfg)
 	if err != nil {

@@ -417,7 +417,7 @@ func RunFaultRack(env *Env) (Result, error) {
 	runScenario := func(correlated bool) (RackScenario, int, float64, error) {
 		var s RackScenario
 		e := env.NewEngine(env.Seed)
-		dc, err := outageFacility(e, scale)
+		dc, err := outageFacility(e, scale, env.Pool())
 		if err != nil {
 			return s, 0, 0, err
 		}

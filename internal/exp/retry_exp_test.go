@@ -178,7 +178,7 @@ func TestChaosSoakRetries(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		env := NewEnv(seed)
 		e := env.NewEngine(seed)
-		dc, err := outageFacility(e, 1)
+		dc, err := outageFacility(e, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -73,15 +73,19 @@ func (r UsersSurgeResult) Report() string {
 // coordinated manager with batched admission control in front of
 // dispatch, at three fleet power budgets (full, 75 %, 50 %). The demand
 // trace is generated once and split per class; every budget sees the
-// identical user stream.
+// identical user stream. Env.Scale multiplies the fleet, the surge
+// magnitudes, and the controller's step sizes together, so scaled runs
+// keep the paper run's relative dynamics (scale 1 is byte-identical to
+// the pre-knob experiment).
 func RunUsersSurge(env *Env) (Result, error) {
 	seed := env.Seed
-	const fullFleet = 64
+	scale := env.FleetScale()
+	fullFleet := 64 * scale
 	surgeCfg := trace.SurgeConfig{
 		Duration:     4 * 24 * time.Hour,
 		Step:         10 * time.Minute,
-		Baseline:     4,
-		Peak:         48,
+		Baseline:     4 * float64(scale),
+		Peak:         48 * float64(scale),
 		SurgeStart:   12 * time.Hour,
 		RampDuration: 24 * time.Hour,
 		HoldDuration: 6 * time.Hour,
@@ -118,10 +122,11 @@ func RunUsersSurge(env *Env) (Result, error) {
 			Mode:           core.ModeCoordinated,
 			Trigger: onoff.DelayTrigger{
 				High: 60 * time.Millisecond, Low: 25 * time.Millisecond,
-				StepUp: 1, StepDown: 1, Min: 1, Max: budget,
+				StepUp: scale, StepDown: scale, Min: 1, Max: budget,
 			},
-			InitialOn: 8,
+			InitialOn: 8 * scale,
 			Admission: adm,
+			Pool:      env.Pool(),
 			ClassDemand: func(now time.Duration) [workload.NumClasses]float64 {
 				var fresh [workload.NumClasses]float64
 				for c := 0; c < workload.NumClasses; c++ {

@@ -44,6 +44,12 @@ type Config struct {
 	// Scale multiplies the facility size of the fig4-family experiments
 	// (see exp.Env.Scale). 0 or 1 is the paper's scale.
 	Scale int
+	// Workers is each job's intra-run execution width for the sharded
+	// per-tick loops (see exp.Env.Workers): 0 means GOMAXPROCS, 1 forces
+	// inline execution. Orthogonal to Parallel (jobs run concurrently
+	// either way) and irrelevant to results, which depend only on
+	// (id, seed, scale).
+	Workers int
 }
 
 // normalize applies the documented defaults.
@@ -135,7 +141,7 @@ func Run(cfg Config) ([]Summary, error) {
 					return
 				}
 				j := jobs[i]
-				results[i] = runJob(j.id, j.seed, j.rep, cfg.DisarmInvariants, cfg.Scale)
+				results[i] = runJob(j.id, j.seed, j.rep, cfg)
 			}
 		}()
 	}
@@ -172,10 +178,12 @@ func Run(cfg Config) ([]Summary, error) {
 
 // runJob executes one (experiment, seed) pair in a fresh environment and
 // captures the instrumentation the engines accumulated.
-func runJob(id string, seed int64, rep int, disarm bool, scale int) JobResult {
+func runJob(id string, seed int64, rep int, cfg Config) JobResult {
 	env := exp.NewEnv(seed)
-	env.Scale = scale
-	if disarm {
+	env.Scale = cfg.Scale
+	env.Workers = cfg.Workers
+	defer env.Close()
+	if cfg.DisarmInvariants {
 		env.DisarmInvariants()
 	}
 	start := time.Now()

@@ -1,0 +1,210 @@
+// Package par is a deterministic parallel executor for the simulator's
+// per-tick hot loops. It fans contiguous index ranges ("shards") out over
+// a persistent worker pool and guarantees a reduction contract the golden
+// fixtures depend on: shard boundaries are a pure function of the data
+// size — never of the worker count — so any per-shard partial result
+// folded in shard order is bit-identical no matter how many workers (or
+// which interleaving) executed the shards. Parallelism changes wall-clock
+// time only, never a single float bit.
+//
+// The pool itself is deliberately small: parked goroutines on a channel,
+// an atomic cursor over the shard list, caller participation so a
+// RunRanges never blocks a core on coordination, and panic propagation to
+// the caller. A nil *Pool executes inline in shard order, so callers arm
+// the sharded code path unconditionally and let the pool decide whether
+// extra OS threads are worth waking.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Shard sizing. MinShardLen keeps per-shard fixed costs (wakeup, cursor
+// traffic, accumulator merge) well under the shard's own work; MaxShards
+// bounds the merge fan-in and the per-shard accumulator footprint.
+// shardAlign rounds interior boundaries to 8 float64s = one 64-byte cache
+// line, so two workers never write the same line at a shard edge.
+const (
+	// MinShardLen is the smallest index count worth its own shard.
+	MinShardLen = 512
+	// MaxShards caps how many shards Shards produces for any n.
+	MaxShards = 64
+	// shardAlign is the boundary alignment in elements (one cache line
+	// of float64s).
+	shardAlign = 8
+)
+
+// Range is one contiguous half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len reports the number of indexes in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Shards partitions [0, n) into contiguous ranges. The partition depends
+// only on n: callers that fold per-shard partials in shard order get
+// results that are bit-identical for every worker count, because the
+// grouping of the floating-point reduction is fixed by the data size.
+// Interior boundaries are multiples of 8 elements (64 bytes of float64),
+// so slices indexed by shard never false-share a cache line at the seams.
+// n <= 0 returns nil; n < 2*MinShardLen returns a single shard.
+func Shards(n int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	s := n / MinShardLen
+	if s < 1 {
+		s = 1
+	}
+	if s > MaxShards {
+		s = MaxShards
+	}
+	out := make([]Range, s)
+	lo := 0
+	for i := 0; i < s; i++ {
+		hi := n
+		if i < s-1 {
+			// Cut at the aligned floor of the proportional boundary.
+			// Each shard holds >= MinShardLen - shardAlign elements, so
+			// boundaries stay strictly increasing.
+			hi = (i + 1) * n / s / shardAlign * shardAlign
+		}
+		out[i] = Range{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return out
+}
+
+// task is one RunRanges invocation in flight: the shard list, an atomic
+// claim cursor, completion tracking, and the first captured panic.
+type task struct {
+	shards []Range
+	fn     func(shard int, r Range)
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+	pOnce  sync.Once
+	pVal   any
+}
+
+// run claims shards until the cursor is exhausted. Stale tasks delivered
+// to a worker after completion fall straight through.
+func (t *task) run() {
+	for {
+		i := int(t.cursor.Add(1)) - 1
+		if i >= len(t.shards) {
+			return
+		}
+		t.exec(i)
+	}
+}
+
+// exec runs one shard, capturing the first panic so wg accounting (and
+// therefore the caller's Wait) survives a panicking shard function.
+func (t *task) exec(i int) {
+	defer t.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			t.pOnce.Do(func() { t.pVal = r })
+		}
+	}()
+	t.fn(i, t.shards[i])
+}
+
+// Pool executes shard fan-outs over persistent parked workers. The zero
+// of the type is not used; a nil *Pool is valid and executes inline, in
+// shard order, on the calling goroutine — the workers=1 configuration.
+type Pool struct {
+	workers int
+	work    chan *task
+	close   sync.Once
+}
+
+// New builds a pool that executes each RunRanges over `workers`
+// goroutines: workers-1 parked background workers plus the calling
+// goroutine. workers < 2 returns nil — the inline executor — so callers
+// can hold and pass a nil pool without special-casing. Close releases
+// the background workers.
+func New(workers int) *Pool {
+	if workers < 2 {
+		return nil
+	}
+	p := &Pool{workers: workers, work: make(chan *task, workers-1)}
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			for t := range p.work {
+				t.run()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the execution width RunRanges uses (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close parks the pool permanently, releasing its background goroutines.
+// Idempotent; safe on nil. RunRanges must not be called after Close.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.close.Do(func() { close(p.work) })
+}
+
+// RunRanges executes fn once per shard and returns when every shard has
+// completed. Shards are claimed dynamically, so callers must not assume
+// any cross-shard ordering — determinism comes from each shard writing
+// only shard-local outputs (its index range, its accumulator slot) that
+// the caller folds in shard order afterwards. The calling goroutine
+// participates. If any fn panics, the first panic value is re-raised
+// here after all shards finish. A nil pool (or a single shard) executes
+// inline in shard order.
+func (p *Pool) RunRanges(shards []Range, fn func(shard int, r Range)) {
+	if p == nil || len(shards) <= 1 {
+		for i, r := range shards {
+			fn(i, r)
+		}
+		return
+	}
+	t := &task{shards: shards, fn: fn}
+	t.wg.Add(len(shards))
+	wake := p.workers - 1
+	if wake > len(shards)-1 {
+		wake = len(shards) - 1
+	}
+	for i := 0; i < wake; i++ {
+		p.work <- t
+	}
+	t.run()
+	t.wg.Wait()
+	if t.pVal != nil {
+		panic(t.pVal)
+	}
+}
+
+// AlignedFloats returns a zeroed float64 slice of length n whose backing
+// array starts on a 64-byte cache-line boundary. Combined with the
+// aligned interior boundaries of Shards, shard-partitioned writes into
+// the slice touch disjoint cache lines end to end — no false sharing
+// between adjacent shards.
+func AlignedFloats(n int) []float64 {
+	if n < 0 {
+		n = 0
+	}
+	buf := make([]float64, n+shardAlign-1)
+	off := 0
+	if n > 0 {
+		if rem := uintptr(unsafe.Pointer(unsafe.SliceData(buf))) % 64; rem != 0 {
+			off = int((64 - rem) / 8)
+		}
+	}
+	return buf[off : off+n : off+n]
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/par"
 )
 
 // FrameWriter ingests fleet-synchronous telemetry: a fixed set of keys
@@ -38,6 +40,9 @@ type FrameWriter struct {
 	rawHead       int
 	droppedRounds int64
 	levels        [4]frameLevel
+	// colShards partitions the column space for AppendPar, fixed at
+	// construction (a pure function of the frame width).
+	colShards []par.Range
 }
 
 // frameLevel is one aggregation level of the frame pyramid. The open
@@ -95,11 +100,15 @@ func (s *Store) Frames(keys []string) (*FrameWriter, error) {
 	}
 	w := &FrameWriter{store: s, keys: append([]string(nil), keys...)}
 	k := len(keys)
+	w.colShards = par.Shards(k)
 	for i := range w.levels {
+		// Cache-line-aligned columns: AppendPar shards these by column
+		// range on 64-byte boundaries, so aligned bases keep concurrent
+		// shards off each other's lines.
 		w.levels[i] = frameLevel{
-			curSum: make([]float64, k),
-			curMin: make([]float64, k),
-			curMax: make([]float64, k),
+			curSum: par.AlignedFloats(k),
+			curMin: par.AlignedFloats(k),
+			curMax: par.AlignedFloats(k),
 		}
 	}
 	w.levels[0].width = time.Minute
@@ -144,6 +153,17 @@ func (w *FrameWriter) LatestInto(dst []float64) (time.Duration, bool) {
 // key, all observed at time t. Rounds must arrive in non-decreasing
 // time order.
 func (w *FrameWriter) Append(t time.Duration, values []float64) error {
+	return w.AppendPar(t, values, nil)
+}
+
+// AppendPar is Append with the K-wide column updates fanned out over the
+// pool. Every per-column fold (sum/min/max) touches only that column's
+// state, so the sharded execution is bit-identical to the serial one for
+// any worker count — including the nil pool, which runs the shards
+// inline and IS the serial path. All boundary decisions, closed-bucket
+// slab appends, raw-band appends, and retention trimming stay on the
+// calling goroutine; only the in-bucket column arithmetic fans out.
+func (w *FrameWriter) AppendPar(t time.Duration, values []float64, p *par.Pool) error {
 	if len(values) != len(w.keys) {
 		return fmt.Errorf("telemetry: frame round has %d values for %d keys", len(values), len(w.keys))
 	}
@@ -159,8 +179,20 @@ func (w *FrameWriter) Append(t time.Duration, values []float64) error {
 	w.hasAny = true
 	w.rawT = append(w.rawT, t)
 	w.rawV = append(w.rawV, values...)
+	var inBucket [4]bool
+	anyIn := false
 	for i := range w.levels {
-		w.levels[i].fold(t, values)
+		inBucket[i] = w.levels[i].foldBoundary(t, values)
+		anyIn = anyIn || inBucket[i]
+	}
+	if anyIn {
+		if p == nil {
+			// Closure-free serial path: the steady-state ingest stays
+			// allocation-free per round.
+			w.foldLevels(&inBucket, values, 0, len(values))
+		} else {
+			w.foldLevelsPar(p, inBucket, values)
+		}
 	}
 	if ret := w.store.cfg.RawRetention; ret > 0 {
 		cutoff := t - ret
@@ -184,21 +216,15 @@ func (w *FrameWriter) Append(t time.Duration, values []float64) error {
 	return nil
 }
 
-// fold is the columnar analogue of level.fold: one boundary decision
-// for the whole frame, then K-wide sequential column updates.
-func (l *frameLevel) fold(t time.Duration, values []float64) {
+// foldBoundary makes the level's single per-round boundary decision and,
+// on rollover, closes the open bucket (slab appends) and seeds the new
+// one from the round's values. It reports whether the round lands in the
+// already-open bucket, i.e. whether the K-wide column updates are still
+// pending (foldColumns).
+func (l *frameLevel) foldBoundary(t time.Duration, values []float64) bool {
 	if t < l.curEnd {
 		l.curCnt++
-		for k, v := range values {
-			l.curSum[k] += v
-			if v < l.curMin[k] {
-				l.curMin[k] = v
-			}
-			if v > l.curMax[k] {
-				l.curMax[k] = v
-			}
-		}
-		return
+		return true
 	}
 	var start time.Duration
 	if t < l.curEnd+l.width {
@@ -219,6 +245,42 @@ func (l *frameLevel) fold(t time.Duration, values []float64) {
 	copy(l.curSum, values)
 	copy(l.curMin, values)
 	copy(l.curMax, values)
+	return false
+}
+
+// foldLevelsPar fans foldLevels out over the column shards. Kept out of
+// AppendPar so the closure's captures don't force the serial path's
+// locals onto the heap.
+func (w *FrameWriter) foldLevelsPar(p *par.Pool, inBucket [4]bool, values []float64) {
+	p.RunRanges(w.colShards, func(_ int, r par.Range) {
+		w.foldLevels(&inBucket, values, r.Lo, r.Hi)
+	})
+}
+
+// foldLevels folds the round into every level whose bucket stayed open,
+// over the column range [lo, hi) — the shard body of AppendPar's fan-out
+// and, over the full range, the serial fold.
+func (w *FrameWriter) foldLevels(inBucket *[4]bool, values []float64, lo, hi int) {
+	for i := range w.levels {
+		if inBucket[i] {
+			w.levels[i].foldColumns(values, lo, hi)
+		}
+	}
+}
+
+// foldColumns folds the round's values into the open bucket over the
+// column range [lo, hi) — the shard body of AppendPar's fan-out.
+func (l *frameLevel) foldColumns(values []float64, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		v := values[k]
+		l.curSum[k] += v
+		if v < l.curMin[k] {
+			l.curMin[k] = v
+		}
+		if v > l.curMax[k] {
+			l.curMax[k] = v
+		}
+	}
 }
 
 // query materializes one column's buckets over [from, to) at res.

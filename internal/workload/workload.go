@@ -153,6 +153,35 @@ func SpreadLoad(offered float64, capacities []float64) Dispatch {
 	return SpreadLoadInto(make([]float64, len(capacities)), offered, capacities)
 }
 
+// SpreadPlan is the scalar outcome of a proportional-spread decision:
+// the per-server fill fraction (applied to every server with positive
+// capacity) and the load that could not be placed. Computing the plan is
+// separated from applying it so a sharded dispatcher can take the same
+// decision once, centrally, and apply the identical fill to each shard —
+// bit-for-bit the arithmetic SpreadLoadInto performs serially.
+type SpreadPlan struct {
+	// Fill is the utilization assigned to every server whose capacity is
+	// positive (zero-capacity servers always get 0).
+	Fill float64
+	// Dropped is offered load that exceeded total capacity.
+	Dropped float64
+}
+
+// PlanSpread computes the proportional-spread decision for an offered
+// load against the summed positive capacity.
+func PlanSpread(offered, totalCapacity float64) SpreadPlan {
+	if offered <= 0 {
+		return SpreadPlan{}
+	}
+	if totalCapacity == 0 {
+		return SpreadPlan{Dropped: offered}
+	}
+	if offered >= totalCapacity {
+		return SpreadPlan{Fill: 1, Dropped: offered - totalCapacity}
+	}
+	return SpreadPlan{Fill: offered / totalCapacity}
+}
+
 // SpreadLoadInto is SpreadLoad writing into caller-owned scratch: dst
 // must have len(capacities) entries and becomes the returned dispatch's
 // Utilizations. Allocation-free, for per-tick dispatch paths.
@@ -173,23 +202,13 @@ func SpreadLoadInto(dst []float64, offered float64, capacities []float64) Dispat
 			total += c
 		}
 	}
-	if total == 0 {
-		d.Dropped = offered
-		return d
-	}
-	if offered >= total {
+	plan := PlanSpread(offered, total)
+	d.Dropped = plan.Dropped
+	if plan.Fill != 0 {
 		for i, c := range capacities {
 			if c > 0 {
-				d.Utilizations[i] = 1
+				d.Utilizations[i] = plan.Fill
 			}
-		}
-		d.Dropped = offered - total
-		return d
-	}
-	frac := offered / total
-	for i, c := range capacities {
-		if c > 0 {
-			d.Utilizations[i] = frac
 		}
 	}
 	return d
