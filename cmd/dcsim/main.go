@@ -8,6 +8,8 @@
 //	dcsim -mode coordinated -fleet 40 -days 3
 //	dcsim -mode oblivious -fleet 40 -days 3 -csv samples.csv
 //	dcsim -mode coordinated -facility -days 2
+//	dcsim -sites 4 -fleet 40 -days 1          # geo-federation: one facility per site
+//	                                          # behind the epoch-synchronized router
 //
 // Live mode (-serve) paces the same simulation against the wall clock
 // and serves it over HTTP — OpenMetrics at /metrics, JSON at
@@ -108,6 +110,7 @@ type options struct {
 	carbonBase  float64
 	carbonSwing float64
 	workers     int
+	sites       int
 }
 
 // validate collects every flag violation into one error, so a user with
@@ -145,7 +148,10 @@ func (o options) validate() error {
 	}
 	if _, enabled, err := parseRetry(o.retryStr); err != nil {
 		bad("-retry: %v", err)
-	} else if enabled && !o.users {
+	} else if enabled && !o.users && o.sites == 0 {
+		// Federated sites always run admission control, so -retry stands
+		// alone there; the single-site path needs -users to front the
+		// fleet with it first.
 		bad("-retry %q needs -users (retries close the loop around admission control)", o.retryStr)
 	}
 	if err := o.carbonModel().Validate(); err != nil {
@@ -153,6 +159,20 @@ func (o options) validate() error {
 	}
 	if o.workers < 0 {
 		bad("-workers %d must be non-negative", o.workers)
+	}
+	if o.sites != 0 && o.sites < 2 {
+		bad("-sites %d must be at least 2 (0 = single site)", o.sites)
+	}
+	if o.sites != 0 {
+		if o.csvPath != "" {
+			bad("-csv is not supported with -sites (per-decision samples are single-manager)")
+		}
+		if o.modeStr != "coordinated" {
+			bad("-mode %q is not supported with -sites (federated sites run coordinated managers)", o.modeStr)
+		}
+		if o.facility && o.fleet%20 != 0 {
+			bad("-facility with -sites needs -fleet %d divisible by 20 racks", o.fleet)
+		}
 	}
 	if len(problems) == 0 {
 		return nil
@@ -184,11 +204,15 @@ func run(args []string, stdout io.Writer) error {
 	fs.Float64Var(&o.carbonBase, "carbon", carbon.DefaultGridGPerKWh, "grid carbon intensity base (gCO2e/kWh)")
 	fs.Float64Var(&o.carbonSwing, "carbon-swing", 0.2, "diurnal carbon intensity swing fraction [0,1)")
 	fs.IntVar(&o.workers, "workers", 0, "worker count for the sharded per-tick loops (0 = GOMAXPROCS, 1 = serial; any value gives identical results)")
+	fs.IntVar(&o.sites, "sites", 0, "federated-site count (0 = single site; ≥2 runs one facility per site behind the epoch-synchronized global router)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := o.validate(); err != nil {
 		return err
+	}
+	if o.sites >= 2 {
+		return runGeo(o, stdout)
 	}
 	mode, _ := parseMode(o.modeStr)
 

@@ -106,6 +106,50 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+func TestRunGeoSites(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sites", "2", "-fleet", "12", "-days", "1", "-retry", "budget"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mode=weighted sites=2", "routing epochs:", "users goodput:",
+		"site-0", "site-1", "weight",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("geo output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestGeoSitesValidation pins the federated flag rules into the same
+// aggregated one-error report the single-site flags use.
+func TestGeoSitesValidation(t *testing.T) {
+	err := run([]string{
+		"-sites", "1", "-csv", "x.csv", "-mode", "oblivious", "-speedup", "0",
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("bad federated flag set should be rejected")
+	}
+	msg := err.Error()
+	for _, want := range []string{"-sites 1", "-speedup 0"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+	err = run([]string{
+		"-sites", "2", "-csv", "x.csv", "-mode", "oblivious", "-facility", "-fleet", "25",
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("bad federated flag set should be rejected")
+	}
+	msg = err.Error()
+	for _, want := range []string{"-csv", "-mode \"oblivious\"", "divisible by 20"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
 // TestRunValidationReportsEverything pins the bugfix: a command line with
 // several bad flags must come back with one error naming all of them, not
 // just the first — the old checks returned on the first hit and never

@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) error {
 	invariants := fs.Bool("invariants", true, "assert physical-law invariants after every kernel event")
 	scale := fs.Int("scale", 1, "facility size multiplier for the fig4-family experiments (servers per rack and matching ratings)")
 	workers := fs.Int("workers", 0, "per-run worker count for the sharded per-tick loops (0 = GOMAXPROCS, 1 = serial; any value gives identical results)")
+	sites := fs.Int("sites", 0, "federated-site count for the geo-family experiments (0 = each experiment's default of 4, minimum 2; changes the scenario)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	traceOut := fs.String("trace", "", "write a runtime execution trace of the run to this file")
@@ -100,17 +101,33 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, strings.Join(exp.IDs(), "\n"))
 		return nil
 	}
+	// Collect every flag violation into one error, so a command line
+	// with several bad flags comes back with all of them at once (same
+	// discipline as dcsim's aggregated validate).
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
 	if *reps < 1 {
-		return fmt.Errorf("reps %d must be at least 1", *reps)
+		bad("-reps %d must be at least 1", *reps)
 	}
 	if *parallel < 1 {
-		return fmt.Errorf("parallel %d must be at least 1", *parallel)
+		bad("-parallel %d must be at least 1", *parallel)
 	}
 	if *scale < 1 {
-		return fmt.Errorf("scale %d must be at least 1", *scale)
+		bad("-scale %d must be at least 1", *scale)
 	}
 	if *workers < 0 {
-		return fmt.Errorf("workers %d must be non-negative", *workers)
+		bad("-workers %d must be non-negative", *workers)
+	}
+	if *sites != 0 && *sites < 2 {
+		bad("-sites %d must be at least 2 (0 = default)", *sites)
+	}
+	if *id != "" && !exp.Known(*id) {
+		bad("-exp: unknown experiment %q; valid ids: %s", *id, strings.Join(exp.IDs(), ", "))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("invalid flags:\n  - %s", strings.Join(problems, "\n  - "))
 	}
 	cfg := harness.Config{
 		BaseSeed:         *seed,
@@ -119,11 +136,9 @@ func run(args []string, out io.Writer) error {
 		DisarmInvariants: !*invariants,
 		Scale:            *scale,
 		Workers:          *workers,
+		Sites:            *sites,
 	}
 	if *id != "" {
-		if !exp.Known(*id) {
-			return fmt.Errorf("unknown experiment %q; valid ids: %s", *id, strings.Join(exp.IDs(), ", "))
-		}
 		cfg.IDs = []string{*id}
 	}
 	start := time.Now()

@@ -153,4 +153,40 @@ func TestBadRepsAndParallel(t *testing.T) {
 	if err := run([]string{"-parallel", "0"}, &b); err == nil {
 		t.Error("parallel 0 should error")
 	}
+	if err := run([]string{"-sites", "1"}, &b); err == nil {
+		t.Error("sites 1 should error")
+	}
+}
+
+// TestValidationReportsEverything pins the aggregated validator: a
+// command line with several bad flags must come back with one error
+// naming all of them, not just the first hit.
+func TestValidationReportsEverything(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-reps", "0", "-parallel", "0", "-scale", "0", "-workers", "-1", "-sites", "1", "-exp", "nope"}, &b)
+	if err == nil {
+		t.Fatal("flag set should be rejected")
+	}
+	msg := err.Error()
+	for _, want := range []string{"-reps 0", "-parallel 0", "-scale 0", "-workers -1", "-sites 1", "-exp"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestGeoSitesKnob runs a geo-family experiment at a non-default site
+// count; the knob must flow through the harness into the federation.
+func TestGeoSitesKnob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24h federation run")
+	}
+	var b strings.Builder
+	if err := run([]string{"-exp", "geo-diurnal", "-sites", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "2 federated sites") {
+		t.Errorf("report does not reflect -sites 2:\n%s", out)
+	}
 }

@@ -5,6 +5,13 @@
 //	tracegen -trace surge                 # animoto-style surge to stdout
 //	tracegen -trace weather -seed 7
 //	tracegen -trace diurnal
+//
+// With -sites N (messenger only) the login series is carved into the N
+// per-site home populations the geo federation would route — evenly
+// spread time zones, equal shares — using the exact RNG lineage
+// internal/geo uses, so the CSVs reproduce a federation's inputs:
+//
+//	tracegen -trace messenger -sites 4 -out geo   # geo_site0.csv … geo_site3.csv
 package main
 
 import (
@@ -12,7 +19,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"repro/internal/geo"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -29,8 +38,15 @@ func run(args []string) error {
 	kind := fs.String("trace", "messenger", "trace kind: messenger|surge|weather|diurnal")
 	seed := fs.Int64("seed", 1, "deterministic seed")
 	out := fs.String("out", "", "output file prefix (default: stdout)")
+	sites := fs.Int("sites", 0, "split the messenger login series into this many per-site home populations (0 = no split, minimum 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sites != 0 && *sites < 2 {
+		return fmt.Errorf("-sites %d must be at least 2 (0 = no split)", *sites)
+	}
+	if *sites != 0 && *kind != "messenger" {
+		return fmt.Errorf("-sites only applies to -trace messenger (got %q)", *kind)
 	}
 	rng := sim.NewRNG(*seed)
 
@@ -49,6 +65,9 @@ func run(args []string) error {
 
 	switch *kind {
 	case "messenger":
+		if *sites >= 2 {
+			return splitSites(*seed, *sites, write)
+		}
 		m, err := trace.GenerateMessenger(trace.DefaultMessengerConfig(), rng)
 		if err != nil {
 			return err
@@ -81,4 +100,37 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown trace kind %q", *kind)
 	}
+}
+
+// splitSites carves the messenger login series into n per-site home
+// populations exactly as geo.New does: same RNG lineage (so the global
+// series matches a federation's at the same seed), evenly spread
+// time-zone offsets, equal population shares. Every sample of the
+// global series lands in exactly one site, so the per-site CSVs sum
+// back to the global trace.
+func splitSites(seed int64, n int, write func(suffix, csv string) error) error {
+	m, err := trace.GenerateMessenger(trace.DefaultMessengerConfig(), geo.NewTraceRNG(seed))
+	if err != nil {
+		return err
+	}
+	offsets := make([]time.Duration, n)
+	shares := make([]float64, n)
+	for i := range offsets {
+		offsets[i] = time.Duration(i) * 24 * time.Hour / time.Duration(n)
+		shares[i] = 1
+	}
+	homes, err := trace.CarveSites(m.Logins, offsets, shares)
+	if err != nil {
+		return err
+	}
+	for i, home := range homes {
+		if err := write(fmt.Sprintf("site%d", i), home.CSV("login_rate_per_s")); err != nil {
+			return err
+		}
+	}
+	global, err := trace.SumSeries(homes...)
+	if err != nil {
+		return err
+	}
+	return write("global", global.CSV("login_rate_per_s"))
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,6 +37,66 @@ func TestGenerateAllKindsToFiles(t *testing.T) {
 				t.Errorf("%s%s header = %q", tc.kind, suffix, lines[0])
 			}
 		}
+	}
+}
+
+// readCSVValues parses one tracegen CSV into its value column.
+func readCSVValues(t *testing.T, path string) []float64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	vals := make([]float64, 0, len(lines)-1)
+	for _, line := range lines[1:] {
+		var sec int64
+		var v float64
+		if _, err := fmt.Sscanf(line, "%d,%f", &sec, &v); err != nil {
+			t.Fatalf("bad CSV line %q: %v", line, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// TestSiteSplitConservesDemand pins the carve's conservation law at the
+// CLI: every sample of the global login series lands in exactly one
+// per-site CSV, so the site columns sum back to the global column
+// sample for sample.
+func TestSiteSplitConservesDemand(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "geo")
+	if err := run([]string{"-trace", "messenger", "-sites", "3", "-out", prefix, "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	global := readCSVValues(t, prefix+"_global.csv")
+	sum := make([]float64, len(global))
+	for i := 0; i < 3; i++ {
+		site := readCSVValues(t, prefix+fmt.Sprintf("_site%d.csv", i))
+		if len(site) != len(global) {
+			t.Fatalf("site %d has %d samples, global has %d", i, len(site), len(global))
+		}
+		for k, v := range site {
+			sum[k] += v
+		}
+	}
+	// The CSV encoder rounds each value independently, so the site sum
+	// can differ from the global column by up to one rounding quantum
+	// per site; anything beyond that is a real conservation violation.
+	for k := range global {
+		if diff := sum[k] - global[k]; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("sample %d: site sum %v != global %v", k, sum[k], global[k])
+		}
+	}
+}
+
+func TestSiteSplitValidation(t *testing.T) {
+	if err := run([]string{"-trace", "messenger", "-sites", "1"}); err == nil {
+		t.Error("-sites 1 should error")
+	}
+	if err := run([]string{"-trace", "surge", "-sites", "2"}); err == nil {
+		t.Error("-sites with non-messenger trace should error")
 	}
 }
 

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestRebaseCadencePerFacility pins the amortized-rebase contract when
+// several facilities share one engine on different telemetry cadences
+// (the geo federation's shape): each fleet counts its own sample rounds
+// and rebases every rebaseEvery-th round, independently of its
+// neighbours.
+func TestRebaseCadencePerFacility(t *testing.T) {
+	e := sim.NewEngine(11)
+
+	fast := smallDCConfig()
+	fast.Name = "dc-fast"
+	fast.SampleEvery = 15 * time.Second
+	slow := smallDCConfig()
+	slow.Name = "dc-slow"
+	slow.SampleEvery = 45 * time.Second
+
+	var fleets []*Fleet
+	var base []int
+	for _, cfg := range []DataCenterConfig{fast, slow} {
+		dc, err := NewDataCenter(e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dc.Attach(); err != nil {
+			t.Fatal(err)
+		}
+		fleets = append(fleets, dc.Fleet())
+		// The group-install pass runs one unmeasured recompute; capture
+		// whatever construction cost so the run delta is exact.
+		base = append(base, dc.Fleet().Rebases())
+	}
+
+	horizon := time.Hour
+	if err := e.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+
+	// rounds = horizon / SampleEvery (first fire at SampleEvery, horizon
+	// inclusive); one rebase per rebaseEvery rounds.
+	for i, cfg := range []DataCenterConfig{fast, slow} {
+		rounds := int(horizon / cfg.SampleEvery)
+		want := rounds / rebaseEvery
+		if got := fleets[i].Rebases() - base[i]; got != want {
+			t.Errorf("%s: %d rebases over %d rounds, want %d (every %d rounds)",
+				cfg.Name, got, rounds, want, rebaseEvery)
+		}
+	}
+	if fleets[0].Rebases() == fleets[1].Rebases() {
+		t.Error("different cadences should have produced different rebase counts")
+	}
+
+	// The amortized policy must still leave the aggregates verifiable.
+	for i, f := range fleets {
+		if err := f.VerifyAggregates(); err != nil {
+			t.Errorf("fleet %d aggregates diverged: %v", i, err)
+		}
+	}
+
+	// A barrier-style Sync (what the federation runs at every epoch
+	// boundary) forces an exact recompute regardless of cadence phase.
+	for i, f := range fleets {
+		before := f.Rebases()
+		f.Sync(horizon)
+		if f.Rebases() != before+1 {
+			t.Errorf("fleet %d: Sync did not rebase", i)
+		}
+		lastW, _ := f.RebaseDrift()
+		if lastW > 1e-6 {
+			t.Errorf("fleet %d: post-Sync drift %v W suspiciously large for an idle fleet", i, lastW)
+		}
+	}
+}

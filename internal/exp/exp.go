@@ -44,6 +44,11 @@ type Env struct {
 	// identical results — shard structure depends only on fleet size —
 	// so the knob trades wall-clock time only.
 	Workers int
+	// Sites sets the federated-site count of the geo-family experiments
+	// (0 → each experiment's default of 4; minimum 2). Unlike Workers,
+	// this changes the scenario, so golden comparisons hold only at the
+	// default.
+	Sites   int
 	pool    *par.Pool
 	poolSet bool
 	probe   sim.Probe
@@ -57,6 +62,15 @@ type Env struct {
 // checking armed.
 func NewEnv(seed int64) *Env {
 	return &Env{Seed: seed, checker: invariant.NewChecker()}
+}
+
+// FederationSites reports the effective federated-site count for the
+// geo-family experiments (default 4, minimum 2).
+func (v *Env) FederationSites() int {
+	if v.Sites >= 2 {
+		return v.Sites
+	}
+	return 4
 }
 
 // FleetScale reports the effective facility multiplier (minimum 1).
@@ -182,6 +196,11 @@ func registry() map[string]Runner {
 		"retry-storm":  RunRetryStorm,
 		"retry-budget": RunRetryBudget,
 		"fault-rack":   RunFaultRack,
+		// Geo-federation: N regional facilities behind the deterministic
+		// global router (internal/geo).
+		"geo-diurnal":  RunGeoDiurnal,
+		"geo-brownout": RunGeoBrownout,
+		"geo-carbon":   RunGeoCarbon,
 	}
 }
 

@@ -28,7 +28,8 @@ func TestRegistryComplete(t *testing.T) {
 		"ablate-dc", "ablate-forecast", "ablate-hysteresis", "ablate-ladder",
 		"animoto", "capping", "consolidate", "crac", "distributed", "dvfs",
 		"fault-crac", "fault-outage", "fault-rack", "fault-sensor", "fig1",
-		"fig2", "fig3", "fig4", "geo", "hetero", "idle60", "interfere", "oversub",
+		"fig2", "fig3", "fig4", "geo", "geo-brownout", "geo-carbon",
+		"geo-diurnal", "hetero", "idle60", "interfere", "oversub",
 		"parking", "pathology", "pue2", "retry-budget", "retry-storm",
 		"sensornet", "telemetry", "tier2",
 		"tiers", "users-flash", "users-qmin", "users-surge",

@@ -1,0 +1,379 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/carbon"
+	"repro/internal/fault"
+	"repro/internal/geo"
+)
+
+// The geo-federation family runs the paper's "Internet data centers"
+// plural: N regional facilities with time-zone-shifted user populations
+// behind a global router (internal/geo). The single-facility experiments
+// show elastic management inside one building; these show the inter-site
+// degrees of freedom — pooling offset diurnals flattens global demand,
+// regional brownouts drain to healthy siblings instead of melting down,
+// and load follows the greenest grid hour by hour.
+
+// geoRegionNames seeds site naming for the federation experiments.
+var geoRegionNames = []string{
+	"us-east", "eu-west", "ap-south", "us-west",
+	"eu-north", "ap-east", "sa-east", "af-south",
+}
+
+// geoExpPeakLoginRate doubles the paper's Messenger peak so the site
+// fleets below run tight: a site serving its home diurnal alone
+// saturates at peak, while the pooled (flatter) global demand fits the
+// pooled capacity — the flattening is the experiment's subject.
+const geoExpPeakLoginRate = 2800
+
+// geoFederationConfig builds the shared federation: env.Sites regions
+// (default 4) spread evenly around the clock with uneven population
+// shares, a full facility substrate under site 0, lean fleets, and
+// closed-loop retry clients everywhere.
+func geoFederationConfig(env *Env, mode geo.RouteMode) geo.Config {
+	n := env.FederationSites()
+	cfg := geo.Config{
+		Seed:          env.Seed,
+		Epoch:         30 * time.Minute,
+		Tick:          time.Minute,
+		Horizon:       24 * time.Hour,
+		Mode:          mode,
+		PeakLoginRate: geoExpPeakLoginRate,
+		Parallel:      true,
+		Invariants:    env.InvariantsArmed(),
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("site-%d", i)
+		if i < len(geoRegionNames) {
+			name = geoRegionNames[i]
+		}
+		sc := geo.SiteConfig{
+			Name:            name,
+			TZOffset:        time.Duration(i) * 24 * time.Hour / time.Duration(n),
+			PopulationShare: float64(2 + i%3),
+			FleetSize:       48,
+			Retry:           true,
+		}
+		if i == 0 {
+			sc.Facility = true
+			sc.FleetSize = 40
+		}
+		cfg.Sites = append(cfg.Sites, sc)
+	}
+	return cfg
+}
+
+// runGeo executes one federation configuration to its horizon and rolls
+// it up. The federation builds its own engines, so its invariant
+// checkers are surfaced here rather than through env's probe.
+func runGeo(cfg geo.Config) (geo.Result, []geo.SiteResult, error) {
+	f, err := geo.New(cfg)
+	if err != nil {
+		return geo.Result{}, nil, err
+	}
+	defer f.Close()
+	if err := f.Run(); err != nil {
+		return geo.Result{}, nil, err
+	}
+	if err := f.InvariantErr(); err != nil {
+		return geo.Result{}, nil, err
+	}
+	res := f.Result()
+	return res, res.Sites, nil
+}
+
+// GeoModeRow summarizes one routing mode's federation-wide outcome.
+type GeoModeRow struct {
+	Mode                string
+	EnergyKWh           float64
+	PeakPowerKW         float64
+	OfferedUsers        float64
+	GoodputUsers        float64
+	RejectedFrac        float64
+	MaxSiteRejectedFrac float64
+	BreakerTrips        int64
+	GramsCO2e           float64
+}
+
+func geoModeRow(res geo.Result) GeoModeRow {
+	row := GeoModeRow{
+		Mode:         res.Mode,
+		EnergyKWh:    res.GlobalEnergyKWh,
+		PeakPowerKW:  res.GlobalPeakPowerW / 1e3,
+		OfferedUsers: res.OfferedUsers,
+		GoodputUsers: res.GoodputUsers,
+		RejectedFrac: res.RejectedFrac,
+		GramsCO2e:    res.GramsCO2e,
+	}
+	for _, sr := range res.Sites {
+		if sr.RejectedFrac > row.MaxSiteRejectedFrac {
+			row.MaxSiteRejectedFrac = sr.RejectedFrac
+		}
+		row.BreakerTrips += sr.BreakerTrips
+	}
+	return row
+}
+
+func (r GeoModeRow) render() string {
+	return fmt.Sprintf("%-9s %9.1f kWh  peak %7.1f kW  rejected %6.2f%% (worst site %6.2f%%)  goodput %10.0f  trips %3d",
+		r.Mode, r.EnergyKWh, r.PeakPowerKW, 100*r.RejectedFrac, 100*r.MaxSiteRejectedFrac, r.GoodputUsers, r.BreakerTrips)
+}
+
+// ---------------------------------------------------------------------------
+// geo-diurnal — pooled time zones flatten global demand (§2, "Internet
+// data centers" as a federated system)
+// ---------------------------------------------------------------------------
+
+// GeoDiurnalResult contrasts three routing modes over one day of
+// time-zone-offset diurnals: home-only serving (no federation), static
+// population-share carving, and state-weighted carving.
+type GeoDiurnalResult struct {
+	SiteCount int
+	Home      GeoModeRow
+	Static    GeoModeRow
+	Weighted  GeoModeRow
+	// RejectionCutFrac is the fraction of home-mode rejections the
+	// weighted router eliminates by pooling offset peaks.
+	RejectionCutFrac float64
+	// GoodputGainFrac is the weighted router's goodput gain over home.
+	GoodputGainFrac float64
+}
+
+// ID implements Result.
+func (r *GeoDiurnalResult) ID() string { return "geo-diurnal" }
+
+// Report implements Result.
+func (r *GeoDiurnalResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("geo-diurnal", fmt.Sprintf("%d federated sites, one day of offset diurnals", r.SiteCount)))
+	for _, row := range []GeoModeRow{r.Home, r.Static, r.Weighted} {
+		b.WriteString("  " + row.render() + "\n")
+	}
+	fmt.Fprintf(&b, "  weighted vs home: rejections cut %.1f%%, goodput +%.2f%%\n",
+		100*r.RejectionCutFrac, 100*r.GoodputGainFrac)
+	return b.String()
+}
+
+// RunGeoDiurnal runs the diurnal-flattening comparison.
+func RunGeoDiurnal(env *Env) (Result, error) {
+	res := &GeoDiurnalResult{SiteCount: env.FederationSites()}
+	for _, m := range []struct {
+		mode geo.RouteMode
+		row  *GeoModeRow
+	}{
+		{geo.RouteHome, &res.Home},
+		{geo.RouteStatic, &res.Static},
+		{geo.RouteWeighted, &res.Weighted},
+	} {
+		out, _, err := runGeo(geoFederationConfig(env, m.mode))
+		if err != nil {
+			return nil, fmt.Errorf("geo-diurnal %s: %w", m.mode, err)
+		}
+		*m.row = geoModeRow(out)
+	}
+	if res.Home.RejectedFrac > 0 {
+		res.RejectionCutFrac = 1 - res.Weighted.RejectedFrac/res.Home.RejectedFrac
+	}
+	if res.Home.GoodputUsers > 0 {
+		res.GoodputGainFrac = res.Weighted.GoodputUsers/res.Home.GoodputUsers - 1
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// geo-brownout — a regional capacity dip drains to siblings (§3
+// pathologies, federated)
+// ---------------------------------------------------------------------------
+
+// GeoSiteRow summarizes the dipped site's outcome under one mode.
+type GeoSiteRow struct {
+	RejectedFrac float64
+	GoodputUsers float64
+	BreakerTrips int64
+	MeanWeight   float64
+	MinWeight    float64
+}
+
+// GeoBrownoutResult contrasts a static-share control against the
+// weighted router through the same regional brownout: a 70 % capacity
+// dip at one site for four hours. The control keeps shoveling the full
+// population share at the dipped site — rejections and breaker trips —
+// while the router drains the share toward healthy siblings.
+type GeoBrownoutResult struct {
+	SiteCount  int
+	DippedSite int
+	DipFrac    float64
+	DipHours   float64
+	Static     GeoModeRow
+	Weighted   GeoModeRow
+	// DippedStatic / DippedWeighted are the dipped site's own outcomes.
+	DippedStatic   GeoSiteRow
+	DippedWeighted GeoSiteRow
+	// DrainedShareFrac is how far below its static share the router
+	// pushed the dipped site's weight at the dip's deepest point.
+	DrainedShareFrac float64
+	// GoodputSavedUsers is the extra goodput weighted routing delivered.
+	GoodputSavedUsers float64
+	// RejectionCutFrac is the fraction of control rejections avoided.
+	RejectionCutFrac float64
+}
+
+// ID implements Result.
+func (r *GeoBrownoutResult) ID() string { return "geo-brownout" }
+
+// Report implements Result.
+func (r *GeoBrownoutResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("geo-brownout", fmt.Sprintf("%.0f%% capacity dip at site %d for %.0f h",
+		100*r.DipFrac, r.DippedSite, r.DipHours)))
+	for _, row := range []GeoModeRow{r.Static, r.Weighted} {
+		b.WriteString("  " + row.render() + "\n")
+	}
+	fmt.Fprintf(&b, "  dipped site: static rejected %.1f%% (%d trips), weighted rejected %.1f%% (%d trips)\n",
+		100*r.DippedStatic.RejectedFrac, r.DippedStatic.BreakerTrips,
+		100*r.DippedWeighted.RejectedFrac, r.DippedWeighted.BreakerTrips)
+	fmt.Fprintf(&b, "  router drained %.0f%% of the dipped site's share; goodput saved %.0f users (rejections cut %.1f%%)\n",
+		100*r.DrainedShareFrac, r.GoodputSavedUsers, 100*r.RejectionCutFrac)
+	return b.String()
+}
+
+// RunGeoBrownout runs the regional-brownout comparison.
+func RunGeoBrownout(env *Env) (Result, error) {
+	res := &GeoBrownoutResult{
+		SiteCount:  env.FederationSites(),
+		DippedSite: 1,
+		DipFrac:    0.7,
+		DipHours:   4,
+	}
+	dip := []fault.Event{{
+		Kind:     fault.CapacityDip,
+		At:       8 * time.Hour,
+		Duration: time.Duration(res.DipHours * float64(time.Hour)),
+		Frac:     res.DipFrac,
+	}}
+	for _, m := range []struct {
+		mode geo.RouteMode
+		row  *GeoModeRow
+		site *GeoSiteRow
+	}{
+		{geo.RouteStatic, &res.Static, &res.DippedStatic},
+		{geo.RouteWeighted, &res.Weighted, &res.DippedWeighted},
+	} {
+		cfg := geoFederationConfig(env, m.mode)
+		cfg.Sites[res.DippedSite].Faults = dip
+		out, sites, err := runGeo(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("geo-brownout %s: %w", m.mode, err)
+		}
+		*m.row = geoModeRow(out)
+		d := sites[res.DippedSite]
+		*m.site = GeoSiteRow{
+			RejectedFrac: d.RejectedFrac,
+			GoodputUsers: d.GoodputUsers,
+			BreakerTrips: d.BreakerTrips,
+			MeanWeight:   d.MeanWeight,
+			MinWeight:    d.MinWeight,
+		}
+	}
+	if s := res.DippedStatic.MeanWeight; s > 0 {
+		res.DrainedShareFrac = 1 - res.DippedWeighted.MinWeight/s
+	}
+	res.GoodputSavedUsers = res.Weighted.GoodputUsers - res.Static.GoodputUsers
+	if res.Static.RejectedFrac > 0 {
+		res.RejectionCutFrac = 1 - res.Weighted.RejectedFrac/res.Static.RejectedFrac
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// geo-carbon — load follows the greenest grid (§6 cost adaptation,
+// carbon as the cost)
+// ---------------------------------------------------------------------------
+
+// GeoCarbonResult contrasts carbon-blind and carbon-aware weighted
+// routing over grids with different mixes and solar phases: site-local
+// solar minima occur at different global hours, so a carbon-aware
+// router can chase the dip around the planet.
+type GeoCarbonResult struct {
+	SiteCount int
+	Blind     GeoModeRow
+	Aware     GeoModeRow
+	// GramsSavedFrac is the emission cut at near-equal goodput.
+	GramsSavedFrac float64
+	// GoodputCostFrac is the goodput given up for the cut (positive =
+	// aware routing delivered less).
+	GoodputCostFrac float64
+	// GreenestShareGain is the mean-weight gain of the lowest-carbon
+	// site when awareness turns on.
+	GreenestShareGain float64
+}
+
+// ID implements Result.
+func (r *GeoCarbonResult) ID() string { return "geo-carbon" }
+
+// Report implements Result.
+func (r *GeoCarbonResult) Report() string {
+	var b strings.Builder
+	b.WriteString(header("geo-carbon", fmt.Sprintf("%d sites, heterogeneous grids, carbon-aware routing", r.SiteCount)))
+	for _, it := range []struct {
+		label string
+		row   GeoModeRow
+	}{{"blind", r.Blind}, {"aware", r.Aware}} {
+		fmt.Fprintf(&b, "  %-9s %9.1f kWh  %10.0f gCO2e  rejected %6.2f%%  goodput %10.0f\n",
+			it.label, it.row.EnergyKWh, it.row.GramsCO2e, 100*it.row.RejectedFrac, it.row.GoodputUsers)
+	}
+	fmt.Fprintf(&b, "  emissions cut %.2f%% at %.2f%% goodput cost; greenest site's share +%.1f points\n",
+		100*r.GramsSavedFrac, 100*r.GoodputCostFrac, 100*r.GreenestShareGain)
+	return b.String()
+}
+
+// geoCarbonGrids assigns heterogeneous grid mixes: a coal-heavy grid, a
+// world-average grid, and a renewables-heavy grid, cycling by site.
+func geoCarbonGrids(cfg *geo.Config) {
+	grids := []carbon.Model{
+		{BaseGPerKWh: 680, Swing: 0.1},
+		{BaseGPerKWh: carbon.DefaultGridGPerKWh, Swing: 0.2},
+		{BaseGPerKWh: 120, Swing: 0.45},
+	}
+	for i := range cfg.Sites {
+		cfg.Sites[i].Carbon = grids[i%len(grids)]
+	}
+}
+
+// RunGeoCarbon runs the carbon-aware routing comparison.
+func RunGeoCarbon(env *Env) (Result, error) {
+	res := &GeoCarbonResult{SiteCount: env.FederationSites()}
+	var blindSites, awareSites []geo.SiteResult
+	for _, m := range []struct {
+		aware bool
+		row   *GeoModeRow
+		sites *[]geo.SiteResult
+	}{
+		{false, &res.Blind, &blindSites},
+		{true, &res.Aware, &awareSites},
+	} {
+		cfg := geoFederationConfig(env, geo.RouteWeighted)
+		geoCarbonGrids(&cfg)
+		cfg.CarbonAware = m.aware
+		out, sites, err := runGeo(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("geo-carbon aware=%v: %w", m.aware, err)
+		}
+		*m.row = geoModeRow(out)
+		*m.sites = sites
+	}
+	if res.Blind.GramsCO2e > 0 {
+		res.GramsSavedFrac = 1 - res.Aware.GramsCO2e/res.Blind.GramsCO2e
+	}
+	if res.Blind.GoodputUsers > 0 {
+		res.GoodputCostFrac = 1 - res.Aware.GoodputUsers/res.Blind.GoodputUsers
+	}
+	// The greenest grid cycles in at index 2 (and every third site).
+	greenest := 2 % len(blindSites)
+	res.GreenestShareGain = awareSites[greenest].MeanWeight - blindSites[greenest].MeanWeight
+	return res, nil
+}

@@ -9,13 +9,13 @@ import (
 )
 
 // preRequestGoldenSHA256 pins the byte content of every golden fixture
-// that predates the metastability (retry/breaker) experiment family.
-// Each new opt-in layer — request-level admission, then the closed
-// retry loop — must leave every pre-existing experiment byte-identical:
-// the machinery is opt-in per experiment, so adding it cannot legally
-// perturb an experiment that never wired it. If one of these changes
-// intentionally, regenerate with -update and update the hash here in
-// the same commit, with the reason in the message.
+// that predates the geo-federation experiment family. Each new opt-in
+// layer — request-level admission, the closed retry loop, and now the
+// federated router — must leave every pre-existing experiment
+// byte-identical: the machinery is opt-in per experiment, so adding it
+// cannot legally perturb an experiment that never wired it. If one of
+// these changes intentionally, regenerate with -update and update the
+// hash here in the same commit, with the reason in the message.
 var preRequestGoldenSHA256 = map[string]string{
 	"ablate-dc.json":         "ce720da644369646b8f7cc4ee8f8be73be82b64547a3a313cbf5b2dd64201e7e",
 	"ablate-forecast.json":   "c46e11317acbf91f05516fe82ec3d8c6ae89de7a246ea86310e309e9ac27ad71",
@@ -42,6 +42,9 @@ var preRequestGoldenSHA256 = map[string]string{
 	"parking.json":           "3a53f9c39d2fc86870fdd3e4c946b3cb690d41b4c6a814d197d3e6c14e25fb50",
 	"pathology.json":         "73cf2cf5813cc520d242356ce44de1221063c0b549ac7f3153e36d4c9f4638fd",
 	"pue2.json":              "985314d5c4bfd531821120ea05f1d0ecabb430c448318b1141b547881f91eace",
+	"retry-budget.json":      "a70ae2c1457d832bb31bd4a2bfe67ae69bfb20475347b1c0b875e8f36c02642a",
+	"retry-storm.json":       "5fb714f76fe61653abecafe35cc491f26a67f636070ebe16e0e61ef4280eac50",
+	"fault-rack.json":        "03c36428837334373085f36bc0d4c891d7c9321a655d6045d02e185aa5f57dde",
 	"sensornet.json":         "fdf334734b4c3ce3eed3edabbd753a7b95e343e8be6a7cb11d6163ed63049b2b",
 	"telemetry.json":         "395bc553980c1b09abae532db32f3e05859b1109afb100b7745aff89da81efa6",
 	"tier2.json":             "9aaf6ebe7cafc1714eb291f27afff5635bcec09f89366dbc429d71b7fda119f5",

@@ -50,6 +50,11 @@ type Config struct {
 	// either way) and irrelevant to results, which depend only on
 	// (id, seed, scale).
 	Workers int
+	// Sites sets the federated-site count of the geo-family experiments
+	// (see exp.Env.Sites): 0 means each experiment's default of 4.
+	// Unlike Workers this changes the scenario, so golden comparisons
+	// hold only at the default.
+	Sites int
 }
 
 // normalize applies the documented defaults.
@@ -182,6 +187,7 @@ func runJob(id string, seed int64, rep int, cfg Config) JobResult {
 	env := exp.NewEnv(seed)
 	env.Scale = cfg.Scale
 	env.Workers = cfg.Workers
+	env.Sites = cfg.Sites
 	defer env.Close()
 	if cfg.DisarmInvariants {
 		env.DisarmInvariants()

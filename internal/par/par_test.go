@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"unsafe"
@@ -215,6 +216,91 @@ func TestConcurrentStress(t *testing.T) {
 			}
 		}
 		p.Close()
+	}
+}
+
+// TestConcurrentCallersSharePool pins the geo federation's usage: N
+// site goroutines issue RunRanges against one shared pool at the same
+// time. Each call must cover exactly its own shards exactly once —
+// tasks are claim-isolated, so overlapping fan-outs may interleave on
+// the workers but never cross-contaminate.
+func TestConcurrentCallersSharePool(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const callers = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for call := 0; call < 25; call++ {
+				n := 100 + 997*((c+call)%7)
+				shards := Shards(n)
+				marks := make([]atomic.Int32, len(shards))
+				var sum atomic.Int64
+				p.RunRanges(shards, func(shard int, r Range) {
+					marks[shard].Add(1)
+					sum.Add(int64(r.Len()))
+				})
+				if int(sum.Load()) != n {
+					errs <- fmt.Sprintf("caller %d call %d: covered %d of %d indexes", c, call, sum.Load(), n)
+					return
+				}
+				for i := range marks {
+					if got := marks[i].Load(); got != 1 {
+						errs <- fmt.Sprintf("caller %d call %d: shard %d ran %d times", c, call, i, got)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestConcurrentCallerPanicIsolated: a panicking shard function in one
+// caller re-raises at that caller's RunRanges and leaves concurrent
+// callers' fan-outs untouched.
+func TestConcurrentCallerPanicIsolated(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	panicked := make(chan any, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { panicked <- recover() }()
+		p.RunRanges(Shards(5000), func(shard int, r Range) {
+			if shard == 1 {
+				panic("boom")
+			}
+		})
+	}()
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for call := 0; call < 20; call++ {
+				n := 4096
+				var sum atomic.Int64
+				p.RunRanges(Shards(n), func(shard int, r Range) {
+					sum.Add(int64(r.Len()))
+				})
+				if int(sum.Load()) != n {
+					t.Errorf("clean caller covered %d of %d alongside a panicking caller", sum.Load(), n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := <-panicked; got != "boom" {
+		t.Errorf("panicking caller recovered %v, want \"boom\"", got)
 	}
 }
 

@@ -84,152 +84,309 @@ func escapeLabel(s string) string {
 	return r.Replace(s)
 }
 
+// labeledSnapshot pairs one snapshot with the label set its samples
+// carry: nil for the single-facility exposition, {"site", name} for each
+// section of the geo federation's merged exposition.
+type labeledSnapshot struct {
+	labels []string
+	snap   *Snapshot
+}
+
+// lbl combines a snapshot's base labels with sample-specific ones into a
+// fresh slice (the base may be shared across samples).
+func lbl(base []string, extra ...string) []string {
+	if len(base) == 0 {
+		return extra
+	}
+	out := make([]string, 0, len(base)+len(extra))
+	out = append(out, base...)
+	return append(out, extra...)
+}
+
 // writeMetrics renders a snapshot as one OpenMetrics exposition.
 func writeMetrics(buf *bytes.Buffer, snap Snapshot, scrapes uint64) {
-	w := &omWriter{buf: buf}
+	writeLabeledMetrics(buf, []labeledSnapshot{{snap: &snap}}, scrapes, nil)
+}
 
-	w.family("dcsim_sim_time_seconds", "gauge", "seconds", "Virtual simulation clock since start.")
-	w.sample("dcsim_sim_time_seconds", snap.SimTimeSeconds)
-	w.family("dcsim_sim_speedup_ratio", "gauge", "", "Configured virtual-per-wall time ratio.")
-	w.sample("dcsim_sim_speedup_ratio", snap.Speedup)
-	w.family("dcsim_sim_events", "counter", "", "Simulation kernel events processed.")
-	w.sample("dcsim_sim_events_total", float64(snap.EventsProcessed))
+// writeLabeledMetrics renders one exposition covering every snapshot,
+// each under its own label set. Families are emitted once as contiguous
+// blocks (an OpenMetrics requirement) with the per-snapshot samples
+// looped inside; a family whose slice is absent from every snapshot is
+// omitted entirely. prelude, when set, writes caller-specific families
+// (the geo federation's global roll-ups) before the shared ones.
+func writeLabeledMetrics(buf *bytes.Buffer, snaps []labeledSnapshot, scrapes uint64, prelude func(*omWriter)) {
+	w := &omWriter{buf: buf}
+	if prelude != nil {
+		prelude(w)
+	}
+
+	gaugeAll := func(name, unit, help string, val func(*Snapshot) float64) {
+		w.family(name, "gauge", unit, help)
+		for _, ls := range snaps {
+			w.sample(name, val(ls.snap), ls.labels...)
+		}
+	}
+	counterAll := func(name, unit, help string, val func(*Snapshot) float64) {
+		w.family(name, "counter", unit, help)
+		for _, ls := range snaps {
+			w.sample(name+"_total", val(ls.snap), ls.labels...)
+		}
+	}
+
+	gaugeAll("dcsim_sim_time_seconds", "seconds", "Virtual simulation clock since start.",
+		func(s *Snapshot) float64 { return s.SimTimeSeconds })
+	gaugeAll("dcsim_sim_speedup_ratio", "", "Configured virtual-per-wall time ratio.",
+		func(s *Snapshot) float64 { return s.Speedup })
+	counterAll("dcsim_sim_events", "", "Simulation kernel events processed.",
+		func(s *Snapshot) float64 { return float64(s.EventsProcessed) })
 	w.family("dcsim_scrapes", "counter", "", "Scrapes of this endpoint, including this one.")
 	w.sample("dcsim_scrapes_total", float64(scrapes))
 
-	if snap.Mode != "" {
+	anyMode := false
+	for _, ls := range snaps {
+		anyMode = anyMode || ls.snap.Mode != ""
+	}
+	if anyMode {
 		w.family("dcsim_policy_mode", "gauge", "", "Active policy composition (1 on the active mode).")
-		w.sample("dcsim_policy_mode", 1, "mode", snap.Mode)
-		w.family("dcsim_decisions", "counter", "", "Manager decision cycles run.")
-		w.sample("dcsim_decisions_total", float64(snap.Decisions))
-		w.family("dcsim_sla_violation_ratio", "gauge", "", "Running fraction of decisions whose response exceeded the SLA.")
-		w.sample("dcsim_sla_violation_ratio", snap.SLAViolationRate)
-		w.family("dcsim_worst_response_seconds", "gauge", "seconds", "Worst response time observed so far.")
-		w.sample("dcsim_worst_response_seconds", snap.WorstResponseSeconds)
-	}
-
-	w.family("dcsim_fleet_size", "gauge", "", "Total servers in the fleet.")
-	w.sample("dcsim_fleet_size", float64(snap.FleetSize))
-	w.family("dcsim_servers_on", "gauge", "", "Servers powered on (booting or active).")
-	w.sample("dcsim_servers_on", float64(snap.OnCount))
-	w.family("dcsim_servers_active", "gauge", "", "Servers active and serving load.")
-	w.sample("dcsim_servers_active", float64(snap.ActiveCount))
-	w.family("dcsim_fleet_pstate", "gauge", "", "Fleet-wide DVFS operating point index.")
-	w.sample("dcsim_fleet_pstate", float64(snap.PState))
-	w.family("dcsim_switches", "counter", "", "Cumulative server power transitions by direction.")
-	w.sample("dcsim_switches_total", float64(snap.SwitchOns), "direction", "on")
-	w.sample("dcsim_switches_total", float64(snap.SwitchOffs), "direction", "off")
-	w.family("dcsim_fleet_power_watts", "gauge", "watts", "Instantaneous IT power draw of the fleet.")
-	w.sample("dcsim_fleet_power_watts", snap.PowerW)
-	w.family("dcsim_fleet_energy_joules", "counter", "joules", "Cumulative fleet energy through the last simulation event.")
-	w.sample("dcsim_fleet_energy_joules_total", snap.EnergyJoules)
-	w.family("dcsim_thermal_trips", "counter", "", "Protective thermal shutdowns.")
-	w.sample("dcsim_thermal_trips_total", float64(snap.Trips))
-	w.family("dcsim_rebase_drift_watts", "gauge", "watts", "Aggregate drift discarded at the last fleet rebase (pre-clamp).")
-	w.sample("dcsim_rebase_drift_watts", snap.RebaseDriftW)
-	w.family("dcsim_rebase_drift_max_watts", "gauge", "watts", "Largest rebase drift observed over the run.")
-	w.sample("dcsim_rebase_drift_max_watts", snap.RebaseDriftMaxW)
-
-	if f := snap.Facility; f != nil {
-		w.family("dcsim_pue_ratio", "gauge", "", "Facility PUE at the configured outside conditions.")
-		w.sample("dcsim_pue_ratio", f.PUE)
-		w.family("dcsim_feed_power_watts", "gauge", "watts", "Utility draw at the facility feed.")
-		w.sample("dcsim_feed_power_watts", f.FeedInputW)
-		w.family("dcsim_distribution_loss_watts", "gauge", "watts", "Total loss through the power distribution tree.")
-		w.sample("dcsim_distribution_loss_watts", f.DistLossW)
-		w.family("dcsim_rack_power_watts", "gauge", "watts", "Instantaneous power draw per rack.")
-		for i := range f.Racks {
-			w.sample("dcsim_rack_power_watts", f.Racks[i].PowerW, "rack", f.Racks[i].Rack)
-		}
-		w.family("dcsim_zone_power_watts", "gauge", "watts", "Instantaneous power draw per cooling zone.")
-		for i := range f.Zones {
-			w.sample("dcsim_zone_power_watts", f.Zones[i].PowerW, "zone", f.Zones[i].Zone)
-		}
-		w.family("dcsim_zone_inlet_celsius", "gauge", "celsius", "Inlet temperature per cooling zone, from the telemetry frame.")
-		for i := range f.Zones {
-			w.sample("dcsim_zone_inlet_celsius", f.Zones[i].InletC, "zone", f.Zones[i].Zone)
-		}
-		w.family("dcsim_frame_age_seconds", "gauge", "seconds", "Virtual age of the telemetry frame row backing zone inlets (-1 before the first round).")
-		age := -1.0
-		if f.FrameAtSeconds >= 0 {
-			age = snap.SimTimeSeconds - f.FrameAtSeconds
-		}
-		w.sample("dcsim_frame_age_seconds", age)
-	}
-
-	w.family("dcsim_carbon_intensity", "gauge", "", "Grid carbon intensity in gCO2e per kWh at the current virtual time.")
-	w.sample("dcsim_carbon_intensity", snap.Carbon.IntensityGPerKWh)
-	w.family("dcsim_carbon_rate", "gauge", "", "Instantaneous emission rate in gCO2e per hour at current draw.")
-	w.sample("dcsim_carbon_rate", snap.Carbon.RateGPerHour)
-	w.family("dcsim_carbon_grams", "counter", "grams", "Cumulative emissions in gCO2e since serving started.")
-	w.sample("dcsim_carbon_grams_total", snap.Carbon.GramsTotal)
-
-	if u := snap.Users; u != nil {
-		w.family("dcsim_offered_users", "counter", "", "Cumulative fresh user arrivals offered to admission control.")
-		w.sample("dcsim_offered_users_total", u.OfferedTotal)
-		w.family("dcsim_admitted_users", "counter", "", "Cumulative users admitted to service.")
-		w.sample("dcsim_admitted_users_total", u.AdmittedTotal)
-		w.family("dcsim_rejected_users", "counter", "", "Cumulative users rejected by admission control.")
-		w.sample("dcsim_rejected_users_total", u.RejectedTotal)
-		w.family("dcsim_degraded_users", "counter", "", "Cumulative admitted users served below full quality.")
-		w.sample("dcsim_degraded_users_total", u.DegradedTotal)
-		w.family("dcsim_deferred_users", "gauge", "", "Users currently parked in the deferral backlog.")
-		w.sample("dcsim_deferred_users", u.DeferredBacklog)
-		w.family("dcsim_fair_share_q", "gauge", "", "Fair share Q = min(1, m/k) granted on the latest admission tick.")
-		w.sample("dcsim_fair_share_q", u.FairShareQ)
-		w.family("dcsim_user_shed_level", "gauge", "", "User-facing shedding ladder level (0 = normal fair share).")
-		w.sample("dcsim_user_shed_level", float64(u.ShedLevel))
-		w.family("dcsim_class_admitted_users", "counter", "", "Cumulative admitted users per service class.")
-		for i := range u.Classes {
-			w.sample("dcsim_class_admitted_users_total", u.Classes[i].AdmittedTotal, "class", u.Classes[i].Class)
-		}
-		w.family("dcsim_class_rejected_users", "counter", "", "Cumulative rejected users per service class.")
-		for i := range u.Classes {
-			w.sample("dcsim_class_rejected_users_total", u.Classes[i].RejectedTotal, "class", u.Classes[i].Class)
-		}
-		w.family("dcsim_slo_miss_ratio", "gauge", "", "Fraction of active ticks whose Erlang-C wait exceeded the class SLO.")
-		for i := range u.Classes {
-			w.sample("dcsim_slo_miss_ratio", u.Classes[i].SLOMissRate, "class", u.Classes[i].Class)
-		}
-		if rt := u.Retry; rt != nil {
-			w.family("dcsim_fresh_users", "counter", "", "Cumulative first (non-retry) user arrivals into the closed loop.")
-			w.sample("dcsim_fresh_users_total", rt.FreshTotal)
-			w.family("dcsim_retried_users", "counter", "", "Cumulative retry re-presentations of turned-away users.")
-			w.sample("dcsim_retried_users_total", rt.RetriedTotal)
-			w.family("dcsim_abandoned_users", "counter", "", "Cumulative users who exhausted their retry attempts and gave up.")
-			w.sample("dcsim_abandoned_users_total", rt.AbandonedTotal)
-			w.family("dcsim_goodput_users", "counter", "", "Cumulative users that completed service (admitted net of SLO re-entries).")
-			w.sample("dcsim_goodput_users_total", rt.GoodputTotal)
-			w.family("dcsim_in_retry_users", "gauge", "", "Users currently parked in retry backoff.")
-			w.sample("dcsim_in_retry_users", rt.InRetry)
-			w.family("dcsim_retry_amplification", "gauge", "", "Cumulative attempts over fresh arrivals (1 = no retry inflation).")
-			w.sample("dcsim_retry_amplification", rt.Amplification)
-			w.family("dcsim_breaker_state", "gauge", "", "Admission circuit breaker state (1 on the active state).")
-			for _, state := range []string{"closed", "open", "half-open"} {
-				v := 0.0
-				if rt.BreakerState == state {
-					v = 1
-				}
-				w.sample("dcsim_breaker_state", v, "state", state)
+		for _, ls := range snaps {
+			if ls.snap.Mode != "" {
+				w.sample("dcsim_policy_mode", 1, lbl(ls.labels, "mode", ls.snap.Mode)...)
 			}
-			w.family("dcsim_breaker_trips", "counter", "", "Circuit-breaker closed-to-open transitions.")
-			w.sample("dcsim_breaker_trips_total", float64(rt.BreakerTrips))
 		}
+		managed := func(name, typ, unit, help, sampleName string, val func(*Snapshot) float64) {
+			w.family(name, typ, unit, help)
+			for _, ls := range snaps {
+				if ls.snap.Mode != "" {
+					w.sample(sampleName, val(ls.snap), ls.labels...)
+				}
+			}
+		}
+		managed("dcsim_decisions", "counter", "", "Manager decision cycles run.", "dcsim_decisions_total",
+			func(s *Snapshot) float64 { return float64(s.Decisions) })
+		managed("dcsim_sla_violation_ratio", "gauge", "", "Running fraction of decisions whose response exceeded the SLA.", "dcsim_sla_violation_ratio",
+			func(s *Snapshot) float64 { return s.SLAViolationRate })
+		managed("dcsim_worst_response_seconds", "gauge", "seconds", "Worst response time observed so far.", "dcsim_worst_response_seconds",
+			func(s *Snapshot) float64 { return s.WorstResponseSeconds })
 	}
 
-	if d := snap.Degrader; d != nil {
-		w.family("dcsim_degrader_ladder_stage", "gauge", "", "Current graceful-degradation ladder stage.")
-		w.sample("dcsim_degrader_ladder_stage", float64(d.LadderStage))
-		w.family("dcsim_degrader_cap_events", "counter", "", "Power-cap engagements.")
-		w.sample("dcsim_degrader_cap_events_total", float64(d.CapEvents))
-		w.family("dcsim_degrader_survival_sheds", "counter", "", "Survival-mode shed actions.")
-		w.sample("dcsim_degrader_survival_sheds_total", float64(d.SurvivalSheds))
-		w.family("dcsim_degrader_shed_servers", "counter", "", "Servers shed by degradation responses.")
-		w.sample("dcsim_degrader_shed_servers_total", float64(d.ShedServers))
-		w.family("dcsim_telemetry_fallbacks", "counter", "", "Telemetry-guard fallbacks to estimated zone maps.")
-		w.sample("dcsim_telemetry_fallbacks_total", float64(d.Fallbacks))
-		w.family("dcsim_telemetry_dark_rounds", "counter", "", "Consecutive telemetry-dark rounds observed.")
-		w.sample("dcsim_telemetry_dark_rounds_total", float64(d.DarkRounds))
+	gaugeAll("dcsim_fleet_size", "", "Total servers in the fleet.",
+		func(s *Snapshot) float64 { return float64(s.FleetSize) })
+	gaugeAll("dcsim_servers_on", "", "Servers powered on (booting or active).",
+		func(s *Snapshot) float64 { return float64(s.OnCount) })
+	gaugeAll("dcsim_servers_active", "", "Servers active and serving load.",
+		func(s *Snapshot) float64 { return float64(s.ActiveCount) })
+	gaugeAll("dcsim_fleet_pstate", "", "Fleet-wide DVFS operating point index.",
+		func(s *Snapshot) float64 { return float64(s.PState) })
+	w.family("dcsim_switches", "counter", "", "Cumulative server power transitions by direction.")
+	for _, ls := range snaps {
+		w.sample("dcsim_switches_total", float64(ls.snap.SwitchOns), lbl(ls.labels, "direction", "on")...)
+		w.sample("dcsim_switches_total", float64(ls.snap.SwitchOffs), lbl(ls.labels, "direction", "off")...)
+	}
+	gaugeAll("dcsim_fleet_power_watts", "watts", "Instantaneous IT power draw of the fleet.",
+		func(s *Snapshot) float64 { return s.PowerW })
+	counterAll("dcsim_fleet_energy_joules", "joules", "Cumulative fleet energy through the last simulation event.",
+		func(s *Snapshot) float64 { return s.EnergyJoules })
+	counterAll("dcsim_thermal_trips", "", "Protective thermal shutdowns.",
+		func(s *Snapshot) float64 { return float64(s.Trips) })
+	gaugeAll("dcsim_rebase_drift_watts", "watts", "Aggregate drift discarded at the last fleet rebase (pre-clamp).",
+		func(s *Snapshot) float64 { return s.RebaseDriftW })
+	gaugeAll("dcsim_rebase_drift_max_watts", "watts", "Largest rebase drift observed over the run.",
+		func(s *Snapshot) float64 { return s.RebaseDriftMaxW })
+
+	anyFacility := false
+	for _, ls := range snaps {
+		anyFacility = anyFacility || ls.snap.Facility != nil
+	}
+	if anyFacility {
+		facility := func(name, typ, unit, help string, emit func(ls labeledSnapshot, f *FacilitySnapshot)) {
+			w.family(name, typ, unit, help)
+			for _, ls := range snaps {
+				if ls.snap.Facility != nil {
+					emit(ls, ls.snap.Facility)
+				}
+			}
+		}
+		facility("dcsim_pue_ratio", "gauge", "", "Facility PUE at the configured outside conditions.",
+			func(ls labeledSnapshot, f *FacilitySnapshot) { w.sample("dcsim_pue_ratio", f.PUE, ls.labels...) })
+		facility("dcsim_feed_power_watts", "gauge", "watts", "Utility draw at the facility feed.",
+			func(ls labeledSnapshot, f *FacilitySnapshot) {
+				w.sample("dcsim_feed_power_watts", f.FeedInputW, ls.labels...)
+			})
+		facility("dcsim_distribution_loss_watts", "gauge", "watts", "Total loss through the power distribution tree.",
+			func(ls labeledSnapshot, f *FacilitySnapshot) {
+				w.sample("dcsim_distribution_loss_watts", f.DistLossW, ls.labels...)
+			})
+		facility("dcsim_rack_power_watts", "gauge", "watts", "Instantaneous power draw per rack.",
+			func(ls labeledSnapshot, f *FacilitySnapshot) {
+				for i := range f.Racks {
+					w.sample("dcsim_rack_power_watts", f.Racks[i].PowerW, lbl(ls.labels, "rack", f.Racks[i].Rack)...)
+				}
+			})
+		facility("dcsim_zone_power_watts", "gauge", "watts", "Instantaneous power draw per cooling zone.",
+			func(ls labeledSnapshot, f *FacilitySnapshot) {
+				for i := range f.Zones {
+					w.sample("dcsim_zone_power_watts", f.Zones[i].PowerW, lbl(ls.labels, "zone", f.Zones[i].Zone)...)
+				}
+			})
+		facility("dcsim_zone_inlet_celsius", "gauge", "celsius", "Inlet temperature per cooling zone, from the telemetry frame.",
+			func(ls labeledSnapshot, f *FacilitySnapshot) {
+				for i := range f.Zones {
+					w.sample("dcsim_zone_inlet_celsius", f.Zones[i].InletC, lbl(ls.labels, "zone", f.Zones[i].Zone)...)
+				}
+			})
+		facility("dcsim_frame_age_seconds", "gauge", "seconds", "Virtual age of the telemetry frame row backing zone inlets (-1 before the first round).",
+			func(ls labeledSnapshot, f *FacilitySnapshot) {
+				age := -1.0
+				if f.FrameAtSeconds >= 0 {
+					age = ls.snap.SimTimeSeconds - f.FrameAtSeconds
+				}
+				w.sample("dcsim_frame_age_seconds", age, ls.labels...)
+			})
+	}
+
+	gaugeAll("dcsim_carbon_intensity", "", "Grid carbon intensity in gCO2e per kWh at the current virtual time.",
+		func(s *Snapshot) float64 { return s.Carbon.IntensityGPerKWh })
+	gaugeAll("dcsim_carbon_rate", "", "Instantaneous emission rate in gCO2e per hour at current draw.",
+		func(s *Snapshot) float64 { return s.Carbon.RateGPerHour })
+	counterAll("dcsim_carbon_grams", "grams", "Cumulative emissions in gCO2e since serving started.",
+		func(s *Snapshot) float64 { return s.Carbon.GramsTotal })
+
+	anyUsers := false
+	anyRetry := false
+	for _, ls := range snaps {
+		if u := ls.snap.Users; u != nil {
+			anyUsers = true
+			anyRetry = anyRetry || u.Retry != nil
+		}
+	}
+	if anyUsers {
+		users := func(name, typ, unit, help string, emit func(ls labeledSnapshot, u *UsersSnapshot)) {
+			w.family(name, typ, unit, help)
+			for _, ls := range snaps {
+				if ls.snap.Users != nil {
+					emit(ls, ls.snap.Users)
+				}
+			}
+		}
+		users("dcsim_offered_users", "counter", "", "Cumulative fresh user arrivals offered to admission control.",
+			func(ls labeledSnapshot, u *UsersSnapshot) {
+				w.sample("dcsim_offered_users_total", u.OfferedTotal, ls.labels...)
+			})
+		users("dcsim_admitted_users", "counter", "", "Cumulative users admitted to service.",
+			func(ls labeledSnapshot, u *UsersSnapshot) {
+				w.sample("dcsim_admitted_users_total", u.AdmittedTotal, ls.labels...)
+			})
+		users("dcsim_rejected_users", "counter", "", "Cumulative users rejected by admission control.",
+			func(ls labeledSnapshot, u *UsersSnapshot) {
+				w.sample("dcsim_rejected_users_total", u.RejectedTotal, ls.labels...)
+			})
+		users("dcsim_degraded_users", "counter", "", "Cumulative admitted users served below full quality.",
+			func(ls labeledSnapshot, u *UsersSnapshot) {
+				w.sample("dcsim_degraded_users_total", u.DegradedTotal, ls.labels...)
+			})
+		users("dcsim_deferred_users", "gauge", "", "Users currently parked in the deferral backlog.",
+			func(ls labeledSnapshot, u *UsersSnapshot) {
+				w.sample("dcsim_deferred_users", u.DeferredBacklog, ls.labels...)
+			})
+		users("dcsim_fair_share_q", "gauge", "", "Fair share Q = min(1, m/k) granted on the latest admission tick.",
+			func(ls labeledSnapshot, u *UsersSnapshot) { w.sample("dcsim_fair_share_q", u.FairShareQ, ls.labels...) })
+		users("dcsim_user_shed_level", "gauge", "", "User-facing shedding ladder level (0 = normal fair share).",
+			func(ls labeledSnapshot, u *UsersSnapshot) {
+				w.sample("dcsim_user_shed_level", float64(u.ShedLevel), ls.labels...)
+			})
+		users("dcsim_class_admitted_users", "counter", "", "Cumulative admitted users per service class.",
+			func(ls labeledSnapshot, u *UsersSnapshot) {
+				for i := range u.Classes {
+					w.sample("dcsim_class_admitted_users_total", u.Classes[i].AdmittedTotal, lbl(ls.labels, "class", u.Classes[i].Class)...)
+				}
+			})
+		users("dcsim_class_rejected_users", "counter", "", "Cumulative rejected users per service class.",
+			func(ls labeledSnapshot, u *UsersSnapshot) {
+				for i := range u.Classes {
+					w.sample("dcsim_class_rejected_users_total", u.Classes[i].RejectedTotal, lbl(ls.labels, "class", u.Classes[i].Class)...)
+				}
+			})
+		users("dcsim_slo_miss_ratio", "gauge", "", "Fraction of active ticks whose Erlang-C wait exceeded the class SLO.",
+			func(ls labeledSnapshot, u *UsersSnapshot) {
+				for i := range u.Classes {
+					w.sample("dcsim_slo_miss_ratio", u.Classes[i].SLOMissRate, lbl(ls.labels, "class", u.Classes[i].Class)...)
+				}
+			})
+	}
+	if anyRetry {
+		retry := func(name, typ, unit, help string, emit func(ls labeledSnapshot, rt *RetrySnapshot)) {
+			w.family(name, typ, unit, help)
+			for _, ls := range snaps {
+				if ls.snap.Users != nil && ls.snap.Users.Retry != nil {
+					emit(ls, ls.snap.Users.Retry)
+				}
+			}
+		}
+		retry("dcsim_fresh_users", "counter", "", "Cumulative first (non-retry) user arrivals into the closed loop.",
+			func(ls labeledSnapshot, rt *RetrySnapshot) {
+				w.sample("dcsim_fresh_users_total", rt.FreshTotal, ls.labels...)
+			})
+		retry("dcsim_retried_users", "counter", "", "Cumulative retry re-presentations of turned-away users.",
+			func(ls labeledSnapshot, rt *RetrySnapshot) {
+				w.sample("dcsim_retried_users_total", rt.RetriedTotal, ls.labels...)
+			})
+		retry("dcsim_abandoned_users", "counter", "", "Cumulative users who exhausted their retry attempts and gave up.",
+			func(ls labeledSnapshot, rt *RetrySnapshot) {
+				w.sample("dcsim_abandoned_users_total", rt.AbandonedTotal, ls.labels...)
+			})
+		retry("dcsim_goodput_users", "counter", "", "Cumulative users that completed service (admitted net of SLO re-entries).",
+			func(ls labeledSnapshot, rt *RetrySnapshot) {
+				w.sample("dcsim_goodput_users_total", rt.GoodputTotal, ls.labels...)
+			})
+		retry("dcsim_in_retry_users", "gauge", "", "Users currently parked in retry backoff.",
+			func(ls labeledSnapshot, rt *RetrySnapshot) {
+				w.sample("dcsim_in_retry_users", rt.InRetry, ls.labels...)
+			})
+		retry("dcsim_retry_amplification", "gauge", "", "Cumulative attempts over fresh arrivals (1 = no retry inflation).",
+			func(ls labeledSnapshot, rt *RetrySnapshot) {
+				w.sample("dcsim_retry_amplification", rt.Amplification, ls.labels...)
+			})
+		retry("dcsim_breaker_state", "gauge", "", "Admission circuit breaker state (1 on the active state).",
+			func(ls labeledSnapshot, rt *RetrySnapshot) {
+				for _, state := range []string{"closed", "open", "half-open"} {
+					v := 0.0
+					if rt.BreakerState == state {
+						v = 1
+					}
+					w.sample("dcsim_breaker_state", v, lbl(ls.labels, "state", state)...)
+				}
+			})
+		retry("dcsim_breaker_trips", "counter", "", "Circuit-breaker closed-to-open transitions.",
+			func(ls labeledSnapshot, rt *RetrySnapshot) {
+				w.sample("dcsim_breaker_trips_total", float64(rt.BreakerTrips), ls.labels...)
+			})
+	}
+
+	anyDegrader := false
+	for _, ls := range snaps {
+		anyDegrader = anyDegrader || ls.snap.Degrader != nil
+	}
+	if anyDegrader {
+		degrader := func(name, typ, unit, help, sampleName string, val func(*DegraderSnapshot) float64) {
+			w.family(name, typ, unit, help)
+			for _, ls := range snaps {
+				if ls.snap.Degrader != nil {
+					w.sample(sampleName, val(ls.snap.Degrader), ls.labels...)
+				}
+			}
+		}
+		degrader("dcsim_degrader_ladder_stage", "gauge", "", "Current graceful-degradation ladder stage.", "dcsim_degrader_ladder_stage",
+			func(d *DegraderSnapshot) float64 { return float64(d.LadderStage) })
+		degrader("dcsim_degrader_cap_events", "counter", "", "Power-cap engagements.", "dcsim_degrader_cap_events_total",
+			func(d *DegraderSnapshot) float64 { return float64(d.CapEvents) })
+		degrader("dcsim_degrader_survival_sheds", "counter", "", "Survival-mode shed actions.", "dcsim_degrader_survival_sheds_total",
+			func(d *DegraderSnapshot) float64 { return float64(d.SurvivalSheds) })
+		degrader("dcsim_degrader_shed_servers", "counter", "", "Servers shed by degradation responses.", "dcsim_degrader_shed_servers_total",
+			func(d *DegraderSnapshot) float64 { return float64(d.ShedServers) })
+		degrader("dcsim_telemetry_fallbacks", "counter", "", "Telemetry-guard fallbacks to estimated zone maps.", "dcsim_telemetry_fallbacks_total",
+			func(d *DegraderSnapshot) float64 { return float64(d.Fallbacks) })
+		degrader("dcsim_telemetry_dark_rounds", "counter", "", "Consecutive telemetry-dark rounds observed.", "dcsim_telemetry_dark_rounds_total",
+			func(d *DegraderSnapshot) float64 { return float64(d.DarkRounds) })
 	}
 
 	w.eof()

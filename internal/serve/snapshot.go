@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/workload"
@@ -171,12 +172,29 @@ type DegraderSnapshot struct {
 // write).
 func (s *Server) snapshotLocked() Snapshot {
 	now := s.src.Engine.Now()
-	fleet := s.src.Fleet
+	snap := buildSnapshot(s.src, s.opts.OutsideC, s.opts.OutsideRH, &s.frameBufs)
+	snap.Speedup = s.opts.Speedup
+	snap.Carbon = CarbonSnapshot{
+		IntensityGPerKWh: s.opts.Carbon.IntensityAt(now),
+		RateGPerHour:     s.opts.Carbon.RateGPerHour(now, snap.PowerW),
+		GramsTotal:       s.meter.Grams(),
+	}
+	return snap
+}
+
+// buildSnapshot captures one simulation's state — the engine, fleet,
+// manager, facility, degrader, and user slices. It is the shared core
+// under the single-facility server and each per-site section of the geo
+// server; the caller fills Speedup and the Carbon slice (pacing and
+// emission metering live with the owner, not the simulation). The
+// caller must hold whatever lock guards the source.
+func buildSnapshot(src Source, outsideC, outsideRH float64, frameBufs *sync.Pool) Snapshot {
+	now := src.Engine.Now()
+	fleet := src.Fleet
 	driftLast, driftMax := fleet.RebaseDrift()
 	snap := Snapshot{
 		SimTimeSeconds:  now.Seconds(),
-		Speedup:         s.opts.Speedup,
-		EventsProcessed: s.src.Engine.Processed(),
+		EventsProcessed: src.Engine.Processed(),
 		FleetSize:       fleet.Size(),
 		OnCount:         fleet.OnCount(),
 		ActiveCount:     fleet.ActiveCount(),
@@ -187,22 +205,17 @@ func (s *Server) snapshotLocked() Snapshot {
 		RebaseDriftMaxW: driftMax,
 	}
 	snap.SwitchOns, snap.SwitchOffs = fleet.Switches()
-	if m := s.src.Manager; m != nil {
+	if m := src.Manager; m != nil {
 		snap.Mode = m.Mode().String()
 		snap.PState = m.PState()
 		snap.Decisions = m.Decisions()
 		snap.SLAViolationRate = m.SLAViolationRate()
 		snap.WorstResponseSeconds = m.WorstResponse().Seconds()
 	}
-	if dc := s.src.DC; dc != nil {
-		snap.Facility = s.facilitySnapshotLocked(now)
+	if dc := src.DC; dc != nil {
+		snap.Facility = buildFacilitySnapshot(src, now, outsideC, outsideRH, frameBufs)
 	}
-	snap.Carbon = CarbonSnapshot{
-		IntensityGPerKWh: s.opts.Carbon.IntensityAt(now),
-		RateGPerHour:     s.opts.Carbon.RateGPerHour(now, snap.PowerW),
-		GramsTotal:       s.meter.Grams(),
-	}
-	if d := s.src.Degrader; d != nil {
+	if d := src.Degrader; d != nil {
 		snap.Degrader = &DegraderSnapshot{
 			LadderStage:   d.LadderStage(),
 			CapEvents:     d.CapEvents(),
@@ -212,13 +225,13 @@ func (s *Server) snapshotLocked() Snapshot {
 			DarkRounds:    d.Telemetry().DarkRounds(),
 		}
 	}
-	rl := s.src.Retry
-	if rl == nil && s.src.Manager != nil {
-		rl = s.src.Manager.Retry()
+	rl := src.Retry
+	if rl == nil && src.Manager != nil {
+		rl = src.Manager.Retry()
 	}
-	adm := s.src.Admission
-	if adm == nil && s.src.Manager != nil {
-		adm = s.src.Manager.Admission()
+	adm := src.Admission
+	if adm == nil && src.Manager != nil {
+		adm = src.Manager.Admission()
 	}
 	if adm == nil && rl != nil {
 		adm = rl.Admission()
@@ -261,13 +274,13 @@ func (s *Server) snapshotLocked() Snapshot {
 	return snap
 }
 
-// facilitySnapshotLocked builds the facility slice. Zone inlets come
+// buildFacilitySnapshot builds the facility slice. Zone inlets come
 // from the open row of the columnar telemetry frame — the same bytes
 // batch-mode analysis reads, one memcpy, no re-aggregation; per-rack and
 // per-zone power are the fleet's O(1) maintained sums.
-func (s *Server) facilitySnapshotLocked(now time.Duration) *FacilitySnapshot {
-	dc := s.src.DC
-	fleet := s.src.Fleet
+func buildFacilitySnapshot(src Source, now time.Duration, outsideC, outsideRH float64, frameBufs *sync.Pool) *FacilitySnapshot {
+	dc := src.DC
+	fleet := src.Fleet
 	topo := dc.Topology()
 	room := dc.Room()
 
@@ -281,7 +294,7 @@ func (s *Server) facilitySnapshotLocked(now time.Duration) *FacilitySnapshot {
 	}
 	var frameRow []float64
 	if fw := dc.Frames(); fw != nil {
-		buf := s.frameBufs.Get().([]float64)
+		buf := frameBufs.Get().([]float64)
 		if len(buf) < fw.Width() {
 			buf = make([]float64, fw.Width())
 		}
@@ -289,7 +302,7 @@ func (s *Server) facilitySnapshotLocked(now time.Duration) *FacilitySnapshot {
 			frameRow = buf
 			fs.FrameAtSeconds = at.Seconds()
 		} else {
-			s.frameBufs.Put(buf) //nolint:staticcheck // slice reuse, not pointer identity
+			frameBufs.Put(buf) //nolint:staticcheck // slice reuse, not pointer identity
 		}
 	}
 	for z := 0; z < room.Zones(); z++ {
@@ -300,12 +313,12 @@ func (s *Server) facilitySnapshotLocked(now time.Duration) *FacilitySnapshot {
 		fs.Zones[z] = ZoneSnapshot{Zone: room.ZoneName(z), PowerW: fleet.ZonePowerW(z), InletC: inlet}
 	}
 	if frameRow != nil {
-		s.frameBufs.Put(frameRow) //nolint:staticcheck
+		frameBufs.Put(frameRow) //nolint:staticcheck
 	}
 	flow := dc.Flow()
 	fs.FeedInputW = flow.InW
 	fs.DistLossW = flow.TotalLoss()
-	if pue, _, err := dc.PUEAt(s.opts.OutsideC, s.opts.OutsideRH); err == nil {
+	if pue, _, err := dc.PUEAt(outsideC, outsideRH); err == nil {
 		fs.PUE = pue
 	}
 	return fs

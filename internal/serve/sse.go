@@ -67,14 +67,21 @@ func (b *broadcaster) shutdown(final []byte) {
 // publish renders the snapshot as one SSE frame and offers it to every
 // subscriber without blocking.
 func (b *broadcaster) publish(snap Snapshot) {
-	data, err := json.Marshal(snap)
+	b.publishEvent(snap.Seq, "snapshot", snap)
+}
+
+// publishEvent renders any snapshot-shaped value as one SSE frame and
+// offers it to every subscriber without blocking. The geo server
+// publishes its federated snapshot through this path.
+func (b *broadcaster) publishEvent(id uint64, event string, v any) {
+	data, err := json.Marshal(v)
 	if err != nil {
-		// Snapshot is plain data; marshalling cannot fail absent a
+		// Snapshots are plain data; marshalling cannot fail absent a
 		// programming error. Drop the event rather than kill the pacer.
 		return
 	}
 	var frame bytes.Buffer
-	fmt.Fprintf(&frame, "id: %d\nevent: snapshot\ndata: %s\n\n", snap.Seq, data)
+	fmt.Fprintf(&frame, "id: %d\nevent: %s\ndata: %s\n\n", id, event, data)
 	payload := frame.Bytes()
 	b.mu.Lock()
 	if b.closed {

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// TimeShift returns a copy of the series advanced by offset: the value
+// the shifted series reports at time t is the value the original holds
+// at t+offset, wrapping circularly over the series extent. A site whose
+// population lives offset east of the reference clock experiences its
+// local diurnal shape that much earlier in reference time, which is
+// exactly this rotation. The offset is rounded to the nearest whole
+// step; because a rotation is a permutation of the samples, the total
+// (and therefore the mean) demand of the series is conserved exactly.
+func (s *Series) TimeShift(offset time.Duration) *Series {
+	n := len(s.Values)
+	out := &Series{Step: s.Step, Values: make([]float64, n)}
+	if n == 0 {
+		return out
+	}
+	k := int(math.Round(float64(offset) / float64(s.Step)))
+	k %= n
+	if k < 0 {
+		k += n
+	}
+	for i := range out.Values {
+		out.Values[i] = s.Values[(i+k)%n]
+	}
+	return out
+}
+
+// CarveSites splits one global series into per-site series: site i gets
+// the global shape rotated by offsets[i] (see TimeShift) and scaled by
+// its normalized share. Shares must be non-negative with a positive
+// sum; zero is a valid empty site. The carve conserves demand: summed
+// over sites, the per-step totals of the outputs add back up to the
+// input's total (each rotation is a permutation, and the normalized
+// shares sum to one).
+func CarveSites(s *Series, offsets []time.Duration, shares []float64) ([]*Series, error) {
+	if len(offsets) != len(shares) {
+		return nil, fmt.Errorf("trace: %d offsets but %d shares", len(offsets), len(shares))
+	}
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("trace: no sites to carve")
+	}
+	var sum float64
+	for i, sh := range shares {
+		if sh < 0 || math.IsNaN(sh) {
+			return nil, fmt.Errorf("trace: site %d share %v must be non-negative", i, sh)
+		}
+		sum += sh
+	}
+	if !(sum > 0) {
+		return nil, fmt.Errorf("trace: site shares sum to %v, need > 0", sum)
+	}
+	out := make([]*Series, len(offsets))
+	for i := range offsets {
+		out[i] = s.TimeShift(offsets[i]).Scale(shares[i] / sum)
+	}
+	return out, nil
+}
+
+// SumSeries adds series pointwise into a new series. All inputs must
+// share the step and length of the first.
+func SumSeries(parts ...*Series) (*Series, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("trace: nothing to sum")
+	}
+	first := parts[0]
+	out := &Series{Step: first.Step, Values: make([]float64, len(first.Values))}
+	for i, p := range parts {
+		if p.Step != first.Step || len(p.Values) != len(first.Values) {
+			return nil, fmt.Errorf("trace: series %d shape (%v × %d) differs from first (%v × %d)",
+				i, p.Step, len(p.Values), first.Step, len(first.Values))
+		}
+		for j, v := range p.Values {
+			out.Values[j] += v
+		}
+	}
+	return out, nil
+}
+
+// Sum returns the total of all samples (the conserved quantity under
+// TimeShift and CarveSites).
+func (s *Series) Sum() float64 {
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum
+}

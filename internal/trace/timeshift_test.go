@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestTimeShiftRotates(t *testing.T) {
+	s := &Series{Step: time.Hour, Values: []float64{1, 2, 3, 4}}
+	got := s.TimeShift(2 * time.Hour)
+	want := []float64{3, 4, 1, 2}
+	for i := range want {
+		if got.Values[i] != want[i] {
+			t.Fatalf("shift +2h sample %d = %v, want %v", i, got.Values[i], want[i])
+		}
+	}
+	// A negative shift rotates the other way.
+	got = s.TimeShift(-time.Hour)
+	want = []float64{4, 1, 2, 3}
+	for i := range want {
+		if got.Values[i] != want[i] {
+			t.Fatalf("shift -1h sample %d = %v, want %v", i, got.Values[i], want[i])
+		}
+	}
+	// Offsets round to the nearest step and wrap over the extent.
+	got = s.TimeShift(5*time.Hour + 20*time.Minute)
+	want = []float64{2, 3, 4, 1}
+	for i := range want {
+		if got.Values[i] != want[i] {
+			t.Fatalf("shift +5h20m sample %d = %v, want %v", i, got.Values[i], want[i])
+		}
+	}
+}
+
+// TestTimeShiftConservesTotal pins the satellite contract: a time-zone
+// shift is a permutation of the samples — every sample survives
+// bit-for-bit, so total demand is conserved up to summation order — on
+// a realistic noisy trace.
+func TestTimeShiftConservesTotal(t *testing.T) {
+	m, err := GenerateMessenger(DefaultMessengerConfig(), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Logins
+	n := base.Len()
+	for _, off := range []time.Duration{0, time.Hour, 8 * time.Hour, -5 * time.Hour, 23 * time.Hour} {
+		shifted := base.TimeShift(off)
+		if shifted.Len() != n || shifted.Step != base.Step {
+			t.Fatalf("shift %v changed shape", off)
+		}
+		k := int(math.Round(float64(off)/float64(base.Step))) % n
+		if k < 0 {
+			k += n
+		}
+		for i := 0; i < n; i++ {
+			if shifted.Values[i] != base.Values[(i+k)%n] {
+				t.Fatalf("shift %v sample %d not a pure rotation", off, i)
+			}
+		}
+		if got, want := shifted.Sum(), base.Sum(); math.Abs(got-want)/want > 1e-12 {
+			t.Fatalf("shift %v: total %v != original %v", off, got, want)
+		}
+	}
+}
+
+// TestCarveSitesConservesTotal checks that carving a global trace into
+// per-site diurnals conserves total demand across the sites.
+func TestCarveSitesConservesTotal(t *testing.T) {
+	m, err := GenerateMessenger(DefaultMessengerConfig(), sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Logins
+	offsets := []time.Duration{0, 6 * time.Hour, 12 * time.Hour, 18 * time.Hour}
+	shares := []float64{3, 2, 2, 1}
+	sites, err := CarveSites(base, offsets, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, s := range sites {
+		total += s.Sum()
+	}
+	want := base.Sum()
+	if rel := math.Abs(total-want) / want; rel > 1e-12 {
+		t.Fatalf("carved total %v vs original %v (rel err %g)", total, want, rel)
+	}
+	// Per-site totals follow the normalized shares.
+	for i, s := range sites {
+		wantShare := shares[i] / 8
+		if rel := math.Abs(s.Sum()-want*wantShare) / want; rel > 1e-12 {
+			t.Fatalf("site %d total %v, want share %v of %v", i, s.Sum(), wantShare, want)
+		}
+	}
+}
+
+func TestCarveSitesValidation(t *testing.T) {
+	s := &Series{Step: time.Hour, Values: []float64{1, 2}}
+	if _, err := CarveSites(s, []time.Duration{0}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := CarveSites(s, nil, nil); err == nil {
+		t.Fatal("empty carve accepted")
+	}
+	if _, err := CarveSites(s, []time.Duration{0}, []float64{-1}); err == nil {
+		t.Fatal("negative share accepted")
+	}
+	if _, err := CarveSites(s, []time.Duration{0, 0}, []float64{0, 0}); err == nil {
+		t.Fatal("zero share sum accepted")
+	}
+}
+
+func TestSumSeries(t *testing.T) {
+	a := &Series{Step: time.Minute, Values: []float64{1, 2}}
+	b := &Series{Step: time.Minute, Values: []float64{10, 20}}
+	got, err := SumSeries(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Values[0] != 11 || got.Values[1] != 22 {
+		t.Fatalf("sum = %v", got.Values)
+	}
+	if _, err := SumSeries(a, &Series{Step: time.Hour, Values: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatched step accepted")
+	}
+	if _, err := SumSeries(); err == nil {
+		t.Fatal("empty sum accepted")
+	}
+}
